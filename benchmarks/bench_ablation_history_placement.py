@@ -1,0 +1,37 @@
+"""Ablation: availability-history host selection (future work 5(1)).
+
+"Workstations with long available intervals tend to have their next
+available interval long" - so placing jobs at stations with long idle
+history should reduce preemptions of long-running jobs.
+"""
+
+from repro.analysis.ablation import run_variant, summarize
+from repro.core import CondorConfig
+from repro.metrics.report import render_table
+
+VARIANTS = (
+    ("arbitrary", CondorConfig(host_selection="arbitrary")),
+    ("longest-history", CondorConfig(host_selection="longest_history")),
+    ("current-idle", CondorConfig(host_selection="current_idle")),
+)
+
+
+def test_history_based_placement(benchmark, ablation_trace, show):
+    def run_all():
+        return {name: summarize(run_variant(ablation_trace, config=config))
+                for name, config in VARIANTS}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [
+        (name, s["checkpoints"], s["avg_wait_all"], s["completed"],
+         s["remote_hours"])
+        for name, s in results.items()
+    ]
+    show("ablation_history_placement", render_table(
+        ["host selection", "checkpoints", "avg wait", "completed",
+         "remote h"],
+        rows, title="Ablation - host selection strategy",
+    ))
+    # Informed host selection moves jobs no more often than arbitrary.
+    assert results["longest-history"]["checkpoints"] <= \
+        1.15 * results["arbitrary"]["checkpoints"]

@@ -1,0 +1,81 @@
+"""Extension bench: parallel (gang) jobs and their scheduling problem.
+
+Future work 5(2) predicted "many scheduling problems" from parallel
+programs.  The headline one: a width-k gang needs k simultaneously idle
+machines, so on a churny pool its launch delay grows sharply with width
+while equivalent independent jobs trickle through one at a time.
+"""
+
+from repro.core import CondorSystem, GangJob, Job, StationSpec
+from repro.machine import AlternatingOwner, AlwaysActiveOwner
+from repro.metrics.report import render_table
+from repro.sim import DAY, HOUR, MINUTE, RandomStream, Simulation
+from repro.sim.randomness import Exponential, LogNormal
+
+POOL = 8
+WIDTHS = (2, 4, 6)
+
+
+def build(seed=5):
+    sim = Simulation()
+    stream = RandomStream(seed)
+    specs = [StationSpec("home", owner_model=AlwaysActiveOwner())]
+    for i in range(POOL):
+        specs.append(StationSpec(
+            f"h{i}",
+            owner_model=AlternatingOwner(
+                Exponential(30 * MINUTE), LogNormal(35 * MINUTE, 0.8),
+                stream.fork(f"h{i}"),
+            ),
+        ))
+    system = CondorSystem(sim, specs, coordinator_host="home")
+    system.start()
+    return sim, system
+
+
+def gang_launch_delay(width):
+    sim, system = build()
+    sim.run(until=6 * HOUR)   # let owner processes mix first
+    gang = GangJob(user="u", home="home", demand_seconds=HOUR, width=width)
+    system.submit_gang(gang)
+    sim.run(until=3 * DAY)
+    delay = gang.launch_delay()
+    return delay / MINUTE if delay is not None else None
+
+
+def independent_first_start(width):
+    sim, system = build()
+    sim.run(until=6 * HOUR)
+    jobs = [Job(user="u", home="home", demand_seconds=HOUR)
+            for _ in range(width)]
+    for job in jobs:
+        system.submit(job)
+    sim.run(until=3 * DAY)
+    placed = [j.first_placed_at - 6 * HOUR for j in jobs
+              if j.first_placed_at]
+    return min(placed) / MINUTE if placed else None
+
+
+def test_gang_launch_delay_grows_with_width(benchmark, show):
+    def run_all():
+        return {
+            width: {
+                "gang_launch_min": gang_launch_delay(width),
+                "first_single_start_min": independent_first_start(width),
+            }
+            for width in WIDTHS
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [(w, r["gang_launch_min"], r["first_single_start_min"])
+            for w, r in results.items()]
+    show("extension_gangs", render_table(
+        ["width", "gang co-launch (min)", "first single job start (min)"],
+        rows, title="Extension - gang co-allocation on a churny pool",
+    ))
+    delays = [results[w]["gang_launch_min"] for w in WIDTHS]
+    assert all(d is not None for d in delays)
+    # Wider gangs wait at least as long; the widest waits far longer
+    # than a single job takes to start.
+    assert delays == sorted(delays)
+    assert delays[-1] > 2 * results[WIDTHS[-1]]["first_single_start_min"]

@@ -1,0 +1,13 @@
+"""Figure 2 — cumulative distribution of job service demand."""
+
+from repro.analysis import figure_2
+
+
+def test_figure2(benchmark, month_run, show):
+    exhibit = benchmark(figure_2, month_run)
+    show("figure_2", exhibit["text"])
+    data = exhibit["data"]
+    # Paper: mean ~5 h, median < 3 h, CDF monotone to 1.
+    assert 4.0 < data["mean"] < 6.5
+    assert data["median"] < 3.0
+    assert data["cdf"] == sorted(data["cdf"])

@@ -1,0 +1,15 @@
+"""Figure 3 — hourly queue length over the month, total vs light users."""
+
+from repro.analysis import figure_3
+from repro.metrics import stats
+
+
+def test_figure3(benchmark, month_run, show):
+    exhibit = benchmark(figure_3, month_run)
+    show("figure_3", exhibit["text"])
+    data = exhibit["data"]
+    # Paper: the heavy user keeps >30 jobs in the system for long periods;
+    # light users' queue stays small (batches of ~5).
+    assert stats.median(data["heavy"]) >= 25
+    assert stats.mean(data["light"]) < 10
+    assert max(data["total"]) >= 35

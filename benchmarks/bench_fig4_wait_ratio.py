@@ -1,0 +1,14 @@
+"""Figure 4 — average wait ratio vs service demand, all vs light users."""
+
+from repro.analysis import figure_4
+
+
+def test_figure4(benchmark, month_run, show):
+    exhibit = benchmark(figure_4, month_run)
+    show("figure_4", exhibit["text"])
+    data = exhibit["data"]
+    # Paper: light users mostly do not wait; the average is dominated by
+    # the heavy user, who waits significantly more.
+    assert data["avg_light_1h"] < 0.5
+    assert data["avg_heavy"] > 4 * data["avg_light_1h"]
+    assert data["avg_heavy"] > 1.0

@@ -1,0 +1,20 @@
+"""Figure 5 — utilisation of remote resources over the month."""
+
+from repro.analysis import figure_5
+from repro.metrics import stats
+
+
+def test_figure5(benchmark, month_run, show):
+    exhibit = benchmark(figure_5, month_run)
+    show("figure_5", exhibit["text"])
+    run = month_run
+    # Paper: ~25% local utilisation; 12438 h available, 4771 h consumed.
+    local = run.util.average_local_utilization(run.horizon)
+    assert 0.18 < local < 0.32
+    available = run.util.available_hours(run.horizon)
+    assert 0.85 * 12438 < available < 1.15 * 12438
+    consumed = run.util.remote_hours()
+    assert 0.75 * 4771 < consumed < 1.15 * 4771
+    # The system line sits above the local line.
+    data = exhibit["data"]
+    assert stats.mean(data["system"]) > 2 * stats.mean(data["local"])

@@ -1,0 +1,16 @@
+"""Figure 6 — one working week of utilisation, hour by hour."""
+
+from repro.analysis import figure_6
+from repro.metrics import stats
+
+
+def test_figure6(benchmark, month_run, show):
+    exhibit = benchmark(figure_6, month_run)
+    show("figure_6", exhibit["text"])
+    local = exhibit["data"]["local"]
+    # Diurnal shape: weekday afternoons busier than weekday nights.
+    afternoons = [local[d * 24 + 14] for d in range(5)]
+    nights = [local[d * 24 + 3] for d in range(5)]
+    assert stats.mean(afternoons) > 2 * stats.mean(nights)
+    # The system reaches (near-)full utilisation at some point in the week.
+    assert max(exhibit["data"]["system"]) > 0.8

@@ -1,0 +1,14 @@
+"""Figure 7 — queue lengths for one week, with batch-arrival spikes."""
+
+from repro.analysis import figure_7
+
+
+def test_figure7(benchmark, month_run, show):
+    exhibit = benchmark(figure_7, month_run)
+    show("figure_7", exhibit["text"])
+    total = [v for _t, v in exhibit["data"]["total"]]
+    light = [v for _t, v in exhibit["data"]["light"]]
+    # Paper: during the week the heavy user's queue often exceeds the
+    # number of machines; light users' queue stays far smaller.
+    assert max(total) >= 23
+    assert max(light) < max(total)

@@ -1,0 +1,14 @@
+"""Figure 8 — rate of checkpointing vs service demand."""
+
+from repro.analysis import figure_8
+
+
+def test_figure8(benchmark, month_run, show):
+    exhibit = benchmark(figure_8, month_run)
+    show("figure_8", exhibit["text"])
+    data = exhibit["data"]
+    # Paper: short jobs are moved more often per hour than long jobs
+    # (long jobs eventually settle on stations with no local activity).
+    assert data["short_rate"] > data["long_rate"]
+    # The rate is a fraction of a move per hour, not many.
+    assert 0.0 < data["long_rate"] < 2.0

@@ -1,0 +1,18 @@
+"""Figure 9 — remote execution leverage vs service demand."""
+
+from repro.analysis import figure_9
+from repro.analysis import paper
+
+
+def test_figure9(benchmark, month_run, show):
+    exhibit = benchmark(figure_9, month_run)
+    show("figure_9", exhibit["text"])
+    data = exhibit["data"]
+    # Paper: average leverage ~1300 (same order of magnitude here), and
+    # short jobs lever less than the population average.
+    assert 0.5 * paper.AVERAGE_LEVERAGE < data["average"] \
+        < 2.0 * paper.AVERAGE_LEVERAGE
+    assert data["short"] < data["average"]
+    # Longer jobs lever more: last populated bucket beats the first.
+    series = data["series"]
+    assert series[-1]["value"] > series[0]["value"]

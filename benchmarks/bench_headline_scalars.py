@@ -1,0 +1,23 @@
+"""Section 3 headline scalars, including the one-month simulation itself."""
+
+from repro.analysis import headline_scalars, run_month
+
+
+def test_headline_scalars(benchmark, month_run, show):
+    exhibit = benchmark(headline_scalars, month_run)
+    show("headline_scalars", exhibit["text"])
+    data = exhibit["data"]
+    _ref, coordinator = data["coordinator CPU fraction (< 0.01)"]
+    _ref, scheduler = data["max local scheduler CPU fraction (< 0.01)"]
+    assert coordinator < 0.01
+    assert scheduler < 0.01
+    _ref, image = data["average checkpoint image (MB)"]
+    assert 0.4 < image < 0.6
+
+
+def test_month_simulation_cost(benchmark):
+    """How long the full month simulation itself takes (one round)."""
+    run = benchmark.pedantic(
+        lambda: run_month(seed=43), rounds=1, iterations=1
+    )
+    assert len(run.jobs) > 800

@@ -1,0 +1,48 @@
+"""Pool-size study: what does growing the department buy?
+
+Section 6: "users can expand their capacity to that of the entire
+computing network".  Sweeping the cluster from 10 to 40 stations under a
+proportionally fixed workload shows harvested capacity scaling with the
+pool while the coordinator's cost stays flat (3.1's scaling claim).
+"""
+
+from repro.analysis import run_month
+from repro.metrics import jobs as job_metrics
+from repro.metrics.report import render_table
+
+SIZES = (10, 16, 23, 32, 40)
+RUN_KWARGS = {"days": 4, "job_scale": 0.12, "seed": 13}
+
+
+def measure(size):
+    run = run_month(stations=size, **RUN_KWARGS)
+    completed = run.completed_jobs
+    host = run.system.coordinator.host_station
+    return {
+        "remote_hours": run.util.remote_hours(),
+        "completed": len(completed),
+        "avg_wait": job_metrics.average_wait_ratio(completed),
+        "coordinator_fraction":
+            host.ledger.totals["coordinator"] / run.horizon,
+    }
+
+
+def test_pool_size_scaling(benchmark, show):
+    results = benchmark.pedantic(
+        lambda: {size: measure(size) for size in SIZES},
+        rounds=1, iterations=1,
+    )
+    rows = [(size, r["remote_hours"], r["completed"], r["avg_wait"],
+             r["coordinator_fraction"])
+            for size, r in results.items()]
+    show("pool_size", render_table(
+        ["stations", "remote h", "completed", "avg wait",
+         "coordinator frac"],
+        rows, title="Pool-size study (same workload, 4 days)",
+    ))
+    # More machines help the same workload finish sooner (or no worse)...
+    waits = [results[s]["avg_wait"] for s in SIZES]
+    assert waits[-1] <= waits[0]
+    # ...and the coordinator stays under 1% even at 40 stations (3.1).
+    for size in SIZES:
+        assert results[size]["coordinator_fraction"] < 0.01

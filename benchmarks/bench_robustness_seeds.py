@@ -1,0 +1,44 @@
+"""Robustness: do the headline results hold across random seeds?
+
+The paper observed one particular month; our reproduction should not
+depend on one particular seed.  Five scaled-down months, each with
+different owners and demand draws, summarised as mean +/- 95% CI.
+"""
+
+from repro.analysis import paper
+from repro.analysis.validation import multi_seed_summary, shape_report
+from repro.metrics.report import render_table
+
+SEEDS = (101, 202, 303, 404, 505)
+RUN_KWARGS = {"days": 6, "job_scale": 0.2}
+
+TARGETS = {
+    "local_utilization": paper.AVERAGE_LOCAL_UTILIZATION,
+    "avg_leverage": paper.AVERAGE_LEVERAGE,
+    "completion_rate": 0.95,
+}
+
+
+def test_headline_metrics_stable_across_seeds(benchmark, show):
+    summary = benchmark.pedantic(
+        lambda: multi_seed_summary(SEEDS, **RUN_KWARGS),
+        rounds=1, iterations=1,
+    )
+    rows = [(metric, f"{mean:.3g}", f"+/-{half:.2g}")
+            for metric, (mean, half) in sorted(summary.items())]
+    show("robustness_seeds", render_table(
+        ["metric", "mean over seeds", "95% CI"], rows,
+        title=f"Robustness - {len(SEEDS)} seeds, {RUN_KWARGS['days']} days "
+              f"at {RUN_KWARGS['job_scale']:.0%} workload scale",
+    ) + "\n" + render_table(
+        ["metric", "paper", "mean", "CI half", "rel err"],
+        shape_report(summary, TARGETS),
+        title="Shape targets",
+    ))
+    mean_util, half_util = summary["local_utilization"]
+    assert 0.15 < mean_util < 0.32
+    mean_lev, _half = summary["avg_leverage"]
+    assert 400 < mean_lev < 3000
+    mean_light, _ = summary["avg_wait_light"]
+    mean_heavy, _ = summary["avg_wait_heavy"]
+    assert mean_light < mean_heavy   # fairness holds on average

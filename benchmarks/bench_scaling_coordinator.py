@@ -1,0 +1,41 @@
+"""Scaling: coordinator overhead vs cluster size (3.1's <1% claim).
+
+"We have observed a system with as many as 40 workstations.  Even with
+this system size, the coordinator consumes less than 1% ... a coordinator
+can manage as many as 100 workstations."
+"""
+
+from repro.analysis import run_month
+from repro.metrics.report import render_table
+
+SIZES = (10, 23, 40)
+
+
+def test_coordinator_overhead_scaling(benchmark, show):
+    def run_all():
+        results = {}
+        for size in SIZES:
+            run = run_month(seed=7, days=4, stations=size, job_scale=0.1)
+            host = run.system.coordinator.host_station
+            results[size] = {
+                "coordinator_fraction":
+                    host.ledger.totals["coordinator"] / run.horizon,
+                "scheduler_fraction": max(
+                    s.ledger.totals["scheduler"] / run.horizon
+                    for s in run.system.stations.values()
+                ),
+            }
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [
+        (size, r["coordinator_fraction"], r["scheduler_fraction"])
+        for size, r in results.items()
+    ]
+    show("scaling_coordinator", render_table(
+        ["stations", "coordinator CPU frac", "max scheduler CPU frac"],
+        rows, title="Scaling - daemon overhead vs cluster size",
+    ))
+    for size, r in results.items():
+        assert r["coordinator_fraction"] < 0.01, size
+        assert r["scheduler_fraction"] < 0.01, size

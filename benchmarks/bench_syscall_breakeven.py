@@ -1,0 +1,57 @@
+"""Section 3.1's break-even claim: syscall-heavy jobs don't pay remotely.
+
+"Programs executing large numbers of system calls ... would be better if
+they were executed locally instead of remotely.  For a remotely executing
+job with an extreme number of system calls, a local workstation
+supporting the remote system calls would consume more capacity than the
+amount of useful work accomplished at the remote site" — i.e. leverage
+drops below 1.  Each remote call costs 10 ms of home CPU, so the
+crossover sits near 100 calls per CPU-second.
+"""
+
+import pytest
+
+from repro.core import CondorSystem, Job, StationSpec
+from repro.machine import AlwaysActiveOwner, NeverActiveOwner
+from repro.metrics.report import render_table
+from repro.remote_unix import breakeven_syscall_rate
+from repro.sim import DAY, HOUR, Simulation
+
+RATES = (0.05, 1.0, 10.0, 50.0, 100.0, 200.0)
+
+
+def leverage_at(rate):
+    sim = Simulation()
+    specs = [StationSpec("home", owner_model=AlwaysActiveOwner()),
+             StationSpec("host", owner_model=NeverActiveOwner())]
+    system = CondorSystem(sim, specs, coordinator_host="home")
+    system.start()
+    job = Job(user="u", home="home", demand_seconds=4 * HOUR,
+              syscall_rate=rate)
+    system.submit(job)
+    sim.run(until=DAY)
+    assert job.finished
+    return job.leverage()
+
+
+def test_leverage_collapses_with_syscall_rate(benchmark, show):
+    results = benchmark.pedantic(
+        lambda: {rate: leverage_at(rate) for rate in RATES},
+        rounds=1, iterations=1,
+    )
+    rows = [(rate, lev, "local better" if lev < 1 else "remote pays")
+            for rate, lev in results.items()]
+    show("syscall_breakeven", render_table(
+        ["syscalls per CPU-second", "leverage", "verdict"],
+        rows, title="Remote-execution break-even vs system-call rate",
+    ))
+    below = [results[r] for r in RATES if r < 100.0]
+    assert all(a > b for a, b in zip(below, below[1:]))  # monotone drop
+    assert results[0.05] > 1000.0                       # compute-bound wins big
+    assert results[200.0] < 1.0                         # I/O-bound loses
+    # Beyond break-even the shadow saturates a full home CPU, pinning
+    # leverage just under 1 (support = remote time + placement cost).
+    assert results[100.0] == pytest.approx(results[200.0], rel=1e-6)
+    # The crossover brackets the analytic 1/0.010 = 100 calls/s.
+    assert results[50.0] > 1.0
+    assert breakeven_syscall_rate() == 100.0

@@ -1,0 +1,13 @@
+"""Table 1 — profile of user service requests (paper vs measured)."""
+
+from repro.analysis import table_1
+
+
+def test_table1(benchmark, month_run, show):
+    exhibit = benchmark(table_1, month_run)
+    show("table_1", exhibit["text"])
+    rows = {row["user"]: row for row in exhibit["data"]["rows"]}
+    # Shape checks: the heavy user dominates jobs and demand.
+    assert rows["A"]["jobs"] == 690
+    assert rows["A"]["demand_share"] > 80.0
+    assert exhibit["data"]["totals"]["jobs"] == 918

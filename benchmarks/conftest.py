@@ -1,0 +1,44 @@
+"""Shared fixtures for the benchmark suite.
+
+``month_run`` is the paper's canonical experiment — 23 stations, 30 days,
+the full Table 1 workload — simulated once per benchmark session and
+shared by every exhibit benchmark.  ``show`` prints exhibit text straight
+to the terminal (bypassing capture) and archives it under
+``benchmarks/results/`` so the regenerated tables/figures persist next to
+the timing numbers.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.analysis import cached_month_run
+from repro.analysis.ablation import baseline_trace
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def month_run():
+    """The full-scale simulated month (computed once, ~15 s)."""
+    return cached_month_run(seed=42)
+
+
+@pytest.fixture(scope="session")
+def ablation_trace():
+    """The fixed workload trace replayed by every ablation variant."""
+    return baseline_trace(seed=42)
+
+
+@pytest.fixture
+def show(capsys):
+    """Print text to the real terminal and save it under results/."""
+
+    def _show(name, text):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _show

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""The live runtime: real checkpointable jobs migrating between workers.
+
+Unlike the other examples (which simulate a cluster), this one runs real
+Python work on real threads.  Three "workstations" execute a numerical
+job (estimating pi by a deterministic series); partway through, the
+owner of whichever worker is running it sits down, the job checkpoints
+its partial sum via pickle, and it resumes *on another worker* from
+exactly where it left off.
+
+Run:  python examples/live_cluster.py
+"""
+
+import time
+
+from repro.runtime import LiveCluster
+
+
+def make_pi_job(terms, report):
+    """Leibniz series for pi/4, checkpointing every 50k terms.
+
+    State is ``(next_index, partial_sum)`` — everything needed to resume.
+    """
+
+    def job(ctx, state):
+        i, total = state if state is not None else (0, 0.0)
+        if state is not None:
+            report(f"    resumed at term {i:,} (partial sum preserved)")
+        while i < terms:
+            total += (-1.0 if i % 2 else 1.0) / (2 * i + 1)
+            i += 1
+            if i % 50_000 == 0:
+                ctx.checkpoint((i, total))
+        return 4.0 * total
+
+    return job
+
+
+def main():
+    t0 = time.time()
+
+    def report(message):
+        print(f"[{time.time() - t0:5.2f}s] {message}")
+
+    with LiveCluster(["ws-alpha", "ws-beta", "ws-gamma"],
+                     poll_interval=0.01) as cluster:
+        report("submitting a 3M-term pi computation from user 'ada'")
+        job = cluster.submit(make_pi_job(3_000_000, report),
+                             name="pi-series", owner="ada")
+
+        # Let it run a moment, then reclaim whichever worker hosts it.
+        time.sleep(0.4)
+        host = next((w for w in cluster.workers.values()
+                     if w.current_job() is job), None)
+        if host is not None:
+            report(f"owner returns to {host.name} -> job must vacate "
+                   "at its next checkpoint")
+            host.owner_arrived()
+
+        if not cluster.wait_all(timeout=120.0):
+            raise SystemExit("job did not finish in time")
+
+        if host is not None:
+            host.owner_departed()
+
+    report(f"pi-series finished: result = {job.result:.10f}")
+    report(f"placements: {' -> '.join(job.placements)}")
+    report(f"checkpoints cut: {job.checkpoint_count}, "
+           f"migrations: {job.vacated_count}")
+    assert abs(job.result - 3.14159265) < 1e-5
+    print("\nThe job changed machines mid-computation and lost at most "
+          "50k terms of work —")
+    print("the paper's checkpointing guarantee, with pickle standing in "
+          "for 4.3BSD core images.")
+
+
+if __name__ == "__main__":
+    main()

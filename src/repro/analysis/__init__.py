@@ -1,0 +1,54 @@
+"""Experiment harness and per-exhibit analysis (Table 1, Figs. 2-9)."""
+
+from repro.analysis import paper
+from repro.analysis.exhibits import (
+    ALL_EXHIBITS,
+    figure_2,
+    figure_3,
+    figure_4,
+    figure_5,
+    figure_6,
+    figure_7,
+    figure_8,
+    figure_9,
+    headline_scalars,
+    table_1,
+)
+from repro.analysis.experiment import (
+    ExperimentRun,
+    cached_month_run,
+    clear_cache,
+    run_month,
+)
+
+__all__ = [
+    "ExperimentRun",
+    "run_month",
+    "cached_month_run",
+    "clear_cache",
+    "paper",
+    "table_1",
+    "figure_2",
+    "figure_3",
+    "figure_4",
+    "figure_5",
+    "figure_6",
+    "figure_7",
+    "figure_8",
+    "figure_9",
+    "headline_scalars",
+    "ALL_EXHIBITS",
+]
+
+from repro.analysis.ablation import (  # noqa: E402
+    ReplayRun,
+    baseline_trace,
+    run_variant,
+    summarize,
+)
+
+__all__ += ["ReplayRun", "baseline_trace", "run_variant", "summarize"]
+
+from repro.analysis.export import export_csvs  # noqa: E402
+
+__all__ += ["export_csvs"]

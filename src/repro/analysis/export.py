@@ -1,0 +1,114 @@
+"""CSV export of every exhibit — for plotting outside this repo.
+
+The benchmarks print ASCII renderings; anyone who wants real figures
+(matplotlib, gnuplot, a spreadsheet) gets tidy CSVs from
+:func:`export_csvs`, one file per exhibit, via
+``repro-condor month --csv OUTDIR``.
+"""
+
+import csv
+import os
+
+from repro.analysis import exhibits
+from repro.metrics import jobs as job_metrics
+from repro.sim import HOUR
+
+
+def _write(path, header, rows):
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(header)
+        writer.writerows(rows)
+
+
+def export_csvs(run, outdir):
+    """Write every exhibit's data as CSV under ``outdir``.
+
+    Returns the list of files written (absolute paths).
+    """
+    os.makedirs(outdir, exist_ok=True)
+    written = []
+
+    def out(name, header, rows):
+        path = os.path.join(outdir, f"{name}.csv")
+        _write(path, header, rows)
+        written.append(path)
+
+    # Table 1
+    rows, totals = job_metrics.user_table(run.jobs)
+    out("table_1",
+        ["user", "jobs", "job_share_pct", "avg_demand_hours",
+         "total_demand_hours", "demand_share_pct"],
+        [(r["user"], r["jobs"], r["job_share"], r["avg_demand_hours"],
+          r["total_demand_hours"], r["demand_share"]) for r in rows])
+
+    # Figure 2 — demand CDF
+    fig2 = exhibits.figure_2(run)["data"]
+    out("figure_2_demand_cdf", ["demand_hours_leq", "fraction_of_jobs"],
+        list(zip(fig2["grid"], fig2["cdf"])))
+
+    # Figure 3 — month queue lengths
+    fig3 = exhibits.figure_3(run)["data"]
+    out("figure_3_queue_month",
+        ["hour", "total_queue", "light_users_queue", "heavy_user_queue"],
+        [(t / HOUR, total, light, heavy)
+         for (t, total), light, heavy in zip(
+             zip(fig3["times"], fig3["total"]), fig3["light"],
+             fig3["heavy"])])
+
+    # Figure 4 — wait ratio by demand
+    fig4 = exhibits.figure_4(run)["data"]
+    out("figure_4_wait_ratio",
+        ["demand_low_h", "demand_high_h", "jobs", "avg_wait_ratio"],
+        [(r["low_hours"], r["high_hours"], r["jobs"], r["value"])
+         for r in fig4["all"]])
+
+    # Figures 5/6 — utilisation series
+    fig5 = exhibits.figure_5(run)["data"]
+    out("figure_5_utilization_month",
+        ["hour", "system_utilization", "local_utilization"],
+        [(h, s, l) for h, (s, l) in
+         enumerate(zip(fig5["system"], fig5["local"]))])
+    fig6 = exhibits.figure_6(run)["data"]
+    out("figure_6_utilization_week",
+        ["hour_of_week", "system_utilization", "local_utilization"],
+        [(h, s, l) for h, (s, l) in
+         enumerate(zip(fig6["system"], fig6["local"]))])
+
+    # Figure 7 — week queue lengths
+    fig7 = exhibits.figure_7(run)["data"]
+    light_by_time = dict(fig7["light"])
+    out("figure_7_queue_week", ["hour", "total_queue", "light_users_queue"],
+        [(t / HOUR, v, light_by_time.get(t)) for t, v in fig7["total"]])
+
+    # Figures 8/9 — per-demand series
+    fig8 = exhibits.figure_8(run)["data"]
+    out("figure_8_checkpoint_rate",
+        ["demand_low_h", "demand_high_h", "jobs", "checkpoints_per_hour"],
+        [(r["low_hours"], r["high_hours"], r["jobs"], r["value"])
+         for r in fig8["series"]])
+    fig9 = exhibits.figure_9(run)["data"]
+    out("figure_9_leverage",
+        ["demand_low_h", "demand_high_h", "jobs", "avg_leverage"],
+        [(r["low_hours"], r["high_hours"], r["jobs"], r["value"])
+         for r in fig9["series"]])
+
+    # Headline scalars
+    headline = exhibits.headline_scalars(run)["data"]
+    out("headline_scalars", ["metric", "paper", "measured"],
+        [(label, ref, measured)
+         for label, (ref, measured) in headline.items()])
+
+    # Per-job record — the raw material for any further analysis.
+    out("jobs",
+        ["id", "user", "demand_hours", "submitted_at", "completed_at",
+         "wait_ratio", "leverage", "checkpoints", "placements",
+         "remote_cpu_hours", "support_seconds", "wasted_cpu_seconds"],
+        [(job.id, job.user, job.demand_seconds / HOUR, job.submitted_at,
+          job.completed_at, job.wait_ratio(), job.leverage(),
+          job.checkpoint_count, len(job.placements),
+          job.remote_cpu_seconds / HOUR, job.total_support_seconds,
+          job.wasted_cpu_seconds)
+         for job in run.jobs])
+
+    return written

@@ -1,0 +1,48 @@
+"""Reference values reported by the paper, for paper-vs-measured tables.
+
+Every constant cites the section it comes from.  These are *targets for
+shape*, not for exact match: the substrate here is a calibrated simulator,
+not 23 physical VAXstations observed during one particular month of 1987.
+"""
+
+#: Table 1 — (user, jobs, % jobs, avg demand h, total demand h, % demand).
+TABLE_1_ROWS = (
+    ("A", 690, 75, 6.2, 4278, 90.0),
+    ("B", 138, 15, 2.5, 345, 7.0),
+    ("C", 39, 4, 2.6, 101, 2.0),
+    ("D", 40, 4, 0.7, 28, 0.6),
+    ("E", 11, 1, 1.7, 19, 0.4),
+)
+TABLE_1_TOTAL_JOBS = 918
+TABLE_1_TOTAL_DEMAND_HOURS = 4771
+TABLE_1_AVG_DEMAND_HOURS = 5.2
+
+#: §3 / Fig. 2 — demand distribution shape.
+MEAN_DEMAND_HOURS = 5.0
+MEDIAN_DEMAND_HOURS_BELOW = 3.0
+
+#: §3 — capacity scalars over the month of 23 stations.
+STATIONS = 23
+OBSERVATION_DAYS = 30
+AVAILABLE_HOURS = 12438
+CONSUMED_HOURS = 4771
+AVERAGE_LOCAL_UTILIZATION = 0.25
+AVAILABILITY_FRACTION = 0.75          # "about 75% of the time"
+
+#: §3 / Fig. 3 — queue behaviour.
+HEAVY_STANDING_JOBS = 30              # "more than 30 jobs ... long periods"
+LIGHT_BATCH_SIZE = 5
+
+#: §3.1 — cost scalars.
+CHECKPOINT_COST_S_PER_MB = 5.0
+AVERAGE_IMAGE_MB = 0.5
+AVERAGE_PLACEMENT_COST_S = 2.5
+REMOTE_SYSCALL_MS = 10.0
+LOCAL_SYSCALL_FRACTION = 1.0 / 20.0
+LOCAL_SCHEDULER_CPU_FRACTION = 0.01   # "less than 1%"
+COORDINATOR_CPU_FRACTION = 0.01       # "less than 1%"
+
+#: §3.1 / Fig. 9 — leverage.
+AVERAGE_LEVERAGE = 1300
+SHORT_JOB_LEVERAGE = 600              # jobs with demand < 2 h
+SHORT_JOB_MAX_HOURS = 2.0

@@ -1,0 +1,47 @@
+"""Parameter-sensitivity sweeps over scheduler configuration knobs.
+
+Answers "how much does result X depend on parameter P?" by replaying the
+fixed ablation workload under a family of configs that differ in exactly
+one field.  Used by the sensitivity benchmark and available to users
+exploring deployments different from the paper's.
+"""
+
+import dataclasses
+
+from repro.analysis.ablation import run_variant, summarize
+from repro.core.config import CondorConfig
+from repro.sim.errors import SimulationError
+
+
+def sweep_config(records, field, values, base_config=None, seed=42,
+                 days=None, **variant_kwargs):
+    """Replay ``records`` once per value of ``config.<field>``.
+
+    Returns ``[(value, summary_dict), ...]`` in input order.  ``days``
+    defaults to the ablation harness default.
+    """
+    base = base_config or CondorConfig()
+    if field not in {f.name for f in dataclasses.fields(CondorConfig)}:
+        raise SimulationError(f"unknown CondorConfig field {field!r}")
+    results = []
+    for value in values:
+        config = dataclasses.replace(base, **{field: value})
+        kwargs = dict(variant_kwargs)
+        if days is not None:
+            kwargs["days"] = days
+        run = run_variant(records, config=config, seed=seed, **kwargs)
+        results.append((value, summarize(run)))
+    return results
+
+
+def metric_series(sweep_results, metric):
+    """Extract ``[(value, summary[metric]), ...]`` from a sweep."""
+    return [(value, summary[metric]) for value, summary in sweep_results]
+
+
+def monotone(series, increasing=True, tolerance=0.0):
+    """Whether the metric moves monotonically along the sweep."""
+    values = [metric for _v, metric in series]
+    if increasing:
+        return all(b >= a - tolerance for a, b in zip(values, values[1:]))
+    return all(b <= a + tolerance for a, b in zip(values, values[1:]))

@@ -1,0 +1,121 @@
+"""Statistical validation: is the reproduction stable across seeds?
+
+A single seeded month could match the paper by luck.  These utilities
+re-run the experiment across seeds and summarise each headline metric as
+mean ± a t-based confidence interval, and test distributional targets
+(Fig. 2's demand distribution) with a Kolmogorov-Smirnov statistic.
+
+scipy is optional: without it the CI falls back to a normal
+approximation and the KS p-value is omitted (the statistic itself is
+computed by hand).
+"""
+
+import math
+
+from repro.metrics import jobs as job_metrics
+from repro.metrics import stats
+
+try:
+    from scipy import stats as scipy_stats
+except ImportError:  # pragma: no cover - exercised on minimal installs
+    scipy_stats = None
+
+
+def _t_critical(df, confidence):
+    if scipy_stats is not None:
+        return scipy_stats.t.ppf(0.5 + confidence / 2.0, df)
+    return 1.96  # normal approximation
+
+
+def confidence_interval(values, confidence=0.95):
+    """(mean, half_width) of a t confidence interval for the mean."""
+    values = list(values)
+    n = len(values)
+    mean = sum(values) / n
+    if n < 2:
+        return mean, float("inf")
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    half = _t_critical(n - 1, confidence) * math.sqrt(variance / n)
+    return mean, half
+
+
+def headline_metrics(run):
+    """The scalar metrics tracked across seeds."""
+    completed = run.completed_jobs
+    horizon = run.horizon
+    return {
+        "jobs_submitted": float(len(run.jobs)),
+        "completion_rate": (len(completed) / len(run.jobs)
+                            if run.jobs else 0.0),
+        "local_utilization": run.util.average_local_utilization(horizon),
+        "remote_hours": run.util.remote_hours(),
+        "available_hours": run.util.available_hours(horizon),
+        "avg_leverage": job_metrics.average_leverage(completed) or 0.0,
+        "avg_wait_light": job_metrics.average_wait_ratio(
+            run.light_jobs()) or 0.0,
+        "avg_wait_heavy": job_metrics.average_wait_ratio(
+            run.heavy_jobs()) or 0.0,
+    }
+
+
+def multi_seed_summary(seeds, confidence=0.95, **run_kwargs):
+    """Run the experiment for every seed; summarise metric -> (mean, ±).
+
+    ``run_kwargs`` are forwarded to
+    :func:`repro.analysis.experiment.run_month` (use ``days``/``job_scale``
+    to keep this quick).
+    """
+    from repro.analysis.experiment import run_month
+
+    per_seed = [headline_metrics(run_month(seed=seed, **run_kwargs))
+                for seed in seeds]
+    summary = {}
+    for metric in per_seed[0]:
+        values = [metrics[metric] for metrics in per_seed]
+        summary[metric] = confidence_interval(values, confidence)
+    return summary
+
+
+def ks_statistic(values, cdf):
+    """Kolmogorov-Smirnov distance between a sample and a model CDF."""
+    ordered = sorted(values)
+    n = len(ordered)
+    if n == 0:
+        return None
+    worst = 0.0
+    for i, value in enumerate(ordered):
+        model = cdf(value)
+        worst = max(worst, abs((i + 1) / n - model), abs(i / n - model))
+    return worst
+
+
+def demand_distribution_ks(run, profile):
+    """KS distance between a user's realised demands and their fitted
+    hyperexponential (sanity check on the workload generator)."""
+    demands = [job.demand_seconds for job in run.jobs
+               if job.user == profile.name]
+    dist = profile.demand_dist
+
+    def model_cdf(x):
+        # Hyperexponential CDF: sum p_i (1 - exp(-x / m_i)).
+        return sum(p * (1.0 - math.exp(-x / m)) for p, m in dist.branches)
+
+    return ks_statistic(demands, model_cdf)
+
+
+def relative_error(measured, target):
+    """|measured - target| / target; ``None`` when target is falsy."""
+    if not target:
+        return None
+    return abs(measured - target) / target
+
+
+def shape_report(summary, targets):
+    """Rows of (metric, target, mean, ±CI, rel. error) for reporting."""
+    rows = []
+    for metric, target in targets.items():
+        mean, half = summary.get(metric, (None, None))
+        rows.append((metric, target, mean, half,
+                     relative_error(mean, target) if mean is not None
+                     else None))
+    return rows

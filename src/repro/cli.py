@@ -1,0 +1,185 @@
+"""``repro-condor`` — command-line front end of the reproduction.
+
+Subcommands:
+
+* ``month``    — run the paper's one-month experiment and print exhibits;
+* ``ablation`` — replay a fixed workload under scheduler variants;
+* ``trace``    — run the month and export its workload as a JSON trace;
+* ``demo``     — a one-minute, five-station narrated demo.
+"""
+
+import argparse
+import sys
+import time
+
+from repro.analysis import ALL_EXHIBITS, run_month
+from repro.analysis.ablation import baseline_trace, run_variant, summarize
+from repro.core import CondorConfig, FcfsPolicy, RoundRobinPolicy, UpDownPolicy
+from repro.metrics.report import render_table
+from repro.workload.traces import dump_trace
+
+#: Named ablation variants available from the command line.
+ABLATIONS = {
+    "updown": ("policy", lambda: UpDownPolicy()),
+    "fcfs": ("policy", lambda: FcfsPolicy()),
+    "round-robin": ("policy", lambda: RoundRobinPolicy()),
+    "butler-kill": ("config",
+                    lambda: CondorConfig(kill_on_owner_return=True)),
+    "no-grace": ("config", lambda: CondorConfig(grace_period=0.0)),
+    "unthrottled": ("config", lambda: CondorConfig(
+        placements_per_cycle=100, grants_per_station_per_cycle=100)),
+    "history-placement": ("config", lambda: CondorConfig(
+        host_selection="longest_history")),
+}
+
+
+def _cmd_month(args):
+    start = time.time()
+    run = run_month(seed=args.seed, days=args.days, job_scale=args.scale)
+    if args.csv:
+        from repro.analysis.export import export_csvs
+
+        files = export_csvs(run, args.csv)
+        print(f"# wrote {len(files)} CSV files to {args.csv}")
+    print(f"# simulated {args.days} days in {time.time() - start:.1f} s "
+          f"({run.sim.events_dispatched:,} events)\n")
+    names = [args.exhibit] if args.exhibit else sorted(ALL_EXHIBITS)
+    for name in names:
+        print("=" * 72)
+        print(ALL_EXHIBITS[name](run)["text"])
+        print()
+    return 0
+
+
+def _cmd_ablation(args):
+    records = baseline_trace(seed=args.seed, days=args.days)
+    print(f"# replaying {len(records)} jobs under: "
+          f"{', '.join(args.variants)}\n")
+    rows = []
+    for name in args.variants:
+        kind, factory = ABLATIONS[name]
+        kwargs = {kind: factory()}
+        summary = summarize(run_variant(records, seed=args.seed,
+                                        days=args.days, **kwargs))
+        rows.append((
+            name, summary["avg_wait_light"], summary["avg_wait_heavy"],
+            summary["checkpoints"], summary["preemptions"],
+            summary["kills"], summary["wasted_hours"], summary["completed"],
+        ))
+    print(render_table(
+        ["variant", "light wait", "heavy wait", "ckpts", "preempts",
+         "kills", "wasted h", "completed"],
+        rows, title="Ablation results (identical workload & owners)",
+    ))
+    return 0
+
+
+def _cmd_trace(args):
+    run = run_month(seed=args.seed, days=args.days, job_scale=args.scale)
+    dump_trace(run.jobs, args.output)
+    print(f"wrote {len(run.jobs)} job records to {args.output}")
+    return 0
+
+
+def _cmd_stations(args):
+    from repro.metrics.stations import render_station_breakdown
+
+    run = run_month(seed=args.seed, days=args.days, job_scale=args.scale)
+    print(render_station_breakdown(
+        run.system.stations.values(), run.horizon,
+        title=f"Per-station accounting over {args.days} days",
+    ))
+    return 0
+
+
+def _cmd_demo(args):
+    from repro.core import CondorSystem, Job, StationSpec, events
+    from repro.machine import (
+        AlternatingOwner,
+        AlwaysActiveOwner,
+        NeverActiveOwner,
+    )
+    from repro.sim import DAY, HOUR, RandomStream, Simulation
+    from repro.sim.randomness import Exponential, LogNormal
+
+    sim = Simulation()
+    stream = RandomStream(7)
+    specs = [StationSpec("submit-box", owner_model=AlwaysActiveOwner()),
+             StationSpec("pool-01", owner_model=NeverActiveOwner())]
+    specs += [
+        StationSpec(f"desk-{i}", owner_model=AlternatingOwner(
+            Exponential(2 * HOUR), LogNormal(HOUR, 0.6),
+            stream.fork(f"desk-{i}"),
+        ))
+        for i in range(3)
+    ]
+    system = CondorSystem(sim, specs, coordinator_host="submit-box")
+    for name in (events.JOB_PLACED, events.JOB_SUSPENDED,
+                 events.JOB_VACATED, events.JOB_COMPLETED):
+        system.bus.subscribe(name, lambda event=name, **kw: print(
+            f"[{sim.now / HOUR:6.2f} h] {kw['job'].name}: {event}"))
+    system.start()
+    jobs = [Job(user="you", home="submit-box",
+                demand_seconds=(2 + i) * HOUR, name=f"job-{i}",
+                syscall_rate=0.05)
+            for i in range(4)]
+    for job in jobs:
+        system.submit(job)
+    system.run(until=2 * DAY)
+    done = [j for j in jobs if j.finished]
+    print(f"\n{len(done)}/{len(jobs)} jobs completed; total leverage "
+          f"{sum(j.remote_cpu_seconds for j in done) / max(1e-9, sum(j.total_support_seconds for j in done)):.0f}")
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro-condor",
+        description="Condor (ICDCS 1988) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    month = sub.add_parser("month", help="run the one-month experiment")
+    month.add_argument("--seed", type=int, default=42)
+    month.add_argument("--days", type=int, default=30)
+    month.add_argument("--scale", type=float, default=1.0)
+    month.add_argument("--exhibit", choices=sorted(ALL_EXHIBITS))
+    month.add_argument("--csv", metavar="DIR",
+                       help="also export every exhibit as CSV files")
+    month.set_defaults(fn=_cmd_month)
+
+    ablation = sub.add_parser("ablation",
+                              help="compare scheduler variants")
+    ablation.add_argument("variants", nargs="+",
+                          choices=sorted(ABLATIONS))
+    ablation.add_argument("--seed", type=int, default=42)
+    ablation.add_argument("--days", type=int, default=8)
+    ablation.set_defaults(fn=_cmd_ablation)
+
+    trace = sub.add_parser("trace", help="export the month's workload")
+    trace.add_argument("output")
+    trace.add_argument("--seed", type=int, default=42)
+    trace.add_argument("--days", type=int, default=30)
+    trace.add_argument("--scale", type=float, default=1.0)
+    trace.set_defaults(fn=_cmd_trace)
+
+    stations = sub.add_parser("stations",
+                              help="per-station capacity accounting")
+    stations.add_argument("--seed", type=int, default=42)
+    stations.add_argument("--days", type=int, default=30)
+    stations.add_argument("--scale", type=float, default=1.0)
+    stations.set_defaults(fn=_cmd_stations)
+
+    demo = sub.add_parser("demo", help="narrated five-station demo")
+    demo.set_defaults(fn=_cmd_demo)
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""The Condor scheduling system: the paper's primary contribution."""
+
+from repro.core import events
+from repro.core.condor import CondorSystem, StationSpec
+from repro.core.config import CondorConfig
+from repro.core.coordinator import Coordinator
+from repro.core.dag import JobDag
+from repro.core.errors import SchedulingError, SubmissionRefused
+from repro.core.faults import CrashInjector
+from repro.core.invariants import InvariantChecker, InvariantViolation
+from repro.core.events import EventBus
+from repro.core.job import (
+    COMPLETED,
+    PENDING,
+    PLACING,
+    QUEUED_STATES,
+    REMOVED,
+    RUNNING,
+    SUSPENDED,
+    VACATING,
+    Job,
+    reset_job_ids,
+)
+from repro.core.local_runner import LocalRunner
+from repro.core.parallel import GangJob
+from repro.core.local_scheduler import (
+    REASON_OWNER_RETURNED,
+    REASON_PRIORITY,
+    LocalScheduler,
+)
+from repro.core.policies import (
+    AllocationPolicy,
+    FcfsPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+)
+from repro.core.queue import FIFO, SHORTEST_FIRST, BackgroundJobQueue
+from repro.core.reservations import Reservation, ReservationBook
+from repro.core.updown import UpDownPolicy
+
+__all__ = [
+    "CondorSystem",
+    "StationSpec",
+    "CondorConfig",
+    "Coordinator",
+    "JobDag",
+    "GangJob",
+    "LocalScheduler",
+    "LocalRunner",
+    "Job",
+    "reset_job_ids",
+    "BackgroundJobQueue",
+    "EventBus",
+    "events",
+    "UpDownPolicy",
+    "AllocationPolicy",
+    "FcfsPolicy",
+    "RandomPolicy",
+    "RoundRobinPolicy",
+    "SchedulingError",
+    "SubmissionRefused",
+    "InvariantChecker",
+    "InvariantViolation",
+    "CrashInjector",
+    "Reservation",
+    "ReservationBook",
+    "PENDING",
+    "PLACING",
+    "RUNNING",
+    "SUSPENDED",
+    "VACATING",
+    "COMPLETED",
+    "REMOVED",
+    "QUEUED_STATES",
+    "FIFO",
+    "SHORTEST_FIRST",
+    "REASON_OWNER_RETURNED",
+    "REASON_PRIORITY",
+]

@@ -1,0 +1,162 @@
+"""The CondorSystem facade: wire a whole cluster together.
+
+This is the library's main entry point::
+
+    sim = Simulation()
+    system = CondorSystem(sim, specs=[StationSpec("ws-01"), ...])
+    system.start()
+    system.submit(Job(user="A", home="ws-01", demand_seconds=6 * HOUR))
+    sim.run(until=30 * DAY)
+
+Everything else (policies, owner models, configs) plugs in through the
+constructor.
+"""
+
+from repro.core.config import CondorConfig
+from repro.core.coordinator import Coordinator
+from repro.core.events import EventBus
+from repro.core.local_scheduler import LocalScheduler
+from repro.core.reservations import ReservationBook
+from repro.core.updown import UpDownPolicy
+from repro.machine import Workstation
+from repro.net import Network
+from repro.sim.errors import SimulationError
+
+
+class StationSpec:
+    """Declarative description of one workstation in the cluster."""
+
+    __slots__ = ("name", "owner_model", "disk_mb", "cpu_speed", "arch")
+
+    def __init__(self, name, owner_model=None, disk_mb=None, cpu_speed=1.0,
+                 arch="vax"):
+        self.name = name
+        self.owner_model = owner_model
+        self.disk_mb = disk_mb
+        self.cpu_speed = cpu_speed
+        self.arch = arch
+
+    def __repr__(self):
+        return f"StationSpec({self.name!r})"
+
+
+class CondorSystem:
+    """A complete Condor installation over a set of workstations."""
+
+    def __init__(self, sim, specs, config=None, policy=None, network=None,
+                 bus=None, coordinator_host=None):
+        if not specs:
+            raise SimulationError("CondorSystem needs at least one station")
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise SimulationError(f"duplicate station names in {names}")
+        self.sim = sim
+        self.config = config or CondorConfig()
+        self.bus = bus or EventBus()
+        self.network = network or Network(sim)
+        self.policy = policy or UpDownPolicy()
+
+        self.stations = {}
+        self.schedulers = {}
+        for spec in specs:
+            kwargs = {"owner_model": spec.owner_model,
+                      "cpu_speed": spec.cpu_speed, "arch": spec.arch}
+            if spec.disk_mb is not None:
+                kwargs["disk_mb"] = spec.disk_mb
+            station = Workstation(sim, spec.name, **kwargs)
+            self.stations[spec.name] = station
+            self.schedulers[spec.name] = LocalScheduler(
+                sim, self.network, station, self.bus, self.config
+            )
+
+        host_name = coordinator_host or names[0]
+        if host_name not in self.stations:
+            raise SimulationError(f"unknown coordinator host {host_name!r}")
+        #: Advance capacity reservations (future work §5(3)).
+        self.reservations = ReservationBook(sim)
+        self.coordinator = Coordinator(
+            sim, self.network, names, self.policy, self.bus, self.config,
+            host_station=self.stations[host_name],
+            reservations=self.reservations,
+        )
+        #: All jobs ever submitted through this system, in order.
+        self.jobs = []
+        #: All gang (parallel) jobs submitted, in order.
+        self.gangs = []
+        self._started = False
+
+    def start(self):
+        """Start every daemon.  Idempotent."""
+        if self._started:
+            return
+        self._started = True
+        for scheduler in self.schedulers.values():
+            scheduler.start()
+        self.coordinator.start()
+
+    def submit(self, job):
+        """Submit a job at its home station's local scheduler.
+
+        Raises :class:`~repro.core.errors.SubmissionRefused` if the home
+        disk cannot hold the job's image; the job is not recorded.
+        """
+        scheduler = self.scheduler(job.home)
+        scheduler.submit(job)
+        self.jobs.append(job)
+
+    def submit_gang(self, gang):
+        """Submit a parallel program for coordinated launch (§5(2)).
+
+        Raises :class:`~repro.core.errors.SubmissionRefused` if the home
+        disk cannot hold all member images.
+        """
+        scheduler = self.scheduler(gang.home)
+        scheduler.submit_gang(gang)
+        self.gangs.append(gang)
+        self.jobs.extend(gang.members)
+
+    def scheduler(self, name):
+        try:
+            return self.schedulers[name]
+        except KeyError:
+            raise SimulationError(f"unknown station {name!r}") from None
+
+    def station(self, name):
+        try:
+            return self.stations[name]
+        except KeyError:
+            raise SimulationError(f"unknown station {name!r}") from None
+
+    def run(self, until):
+        """Start (if needed) and run the simulation to ``until``."""
+        self.start()
+        self.sim.run(until=until)
+
+    # ------------------------------------------------------------------
+    # cluster-wide queries used by metrics and tests
+
+    def queue_length(self, users=None):
+        """Jobs currently in the system (pending + placed), optionally
+        restricted to a set of user names — the paper's Fig. 3/7 counts."""
+        total = 0
+        for job in self.jobs:
+            if not job.in_system:
+                continue
+            if users is not None and job.user not in users:
+                continue
+            total += 1
+        return total
+
+    def completed_jobs(self):
+        return [job for job in self.jobs if job.finished]
+
+    def finalize(self):
+        """Close all open ledger intervals (call after the final run)."""
+        for station in self.stations.values():
+            station.ledger.close_all()
+
+    def __repr__(self):
+        return (
+            f"<CondorSystem stations={len(self.stations)} "
+            f"jobs={len(self.jobs)} policy={self.policy.name}>"
+        )

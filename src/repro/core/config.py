@@ -1,0 +1,76 @@
+"""Tunable parameters of the Condor system, defaulted to the paper's.
+
+Every number here is traceable to a sentence in the paper; the ablation
+benchmarks work by constructing variant configs.
+"""
+
+import dataclasses
+
+from repro.core.queue import FIFO
+from repro.sim import MINUTE
+from repro.sim.errors import SimulationError
+
+
+@dataclasses.dataclass
+class CondorConfig:
+    """Knobs of the scheduling system (defaults = the 1988 deployment)."""
+
+    #: Coordinator polling/allocation period (§2.1: "every two minutes").
+    poll_interval: float = 2 * MINUTE
+    #: Grace a stopped job waits on a reclaimed station before being
+    #: checkpointed off (§4: "within 5 minutes").
+    grace_period: float = 5 * MINUTE
+    #: Global cap on new placements per cycle (§4: "a single job
+    #: remotely every two minutes").
+    placements_per_cycle: int = 1
+    #: Cap on grants one requesting station receives per cycle.
+    grants_per_station_per_cycle: int = 1
+    #: Cap on priority preemptions ordered per cycle.
+    preemptions_per_cycle: int = 1
+    #: Cap on machines one station may hold concurrently; ``None`` is
+    #: work-conserving.  The deployed system's heavy user held ~6
+    #: machines on average despite a 30+ job queue (Table 1: 4278 h over
+    #: a 720 h month), so the month scenario sets a small cap.
+    max_machines_per_station: int = None
+    #: Local queue discipline (which of *my* jobs goes next, §2.1).
+    queue_discipline: str = FIFO
+    #: Butler-mode ablation: kill on owner return instead of suspending
+    #: and checkpointing (§1's criticism of Butler).
+    kill_on_owner_return: bool = False
+    #: Periodic in-place checkpoints (future-work strategy in §4); ``None``
+    #: disables them, as deployed.
+    periodic_checkpoint_interval: float = None
+    #: Host choice among idle stations: "arbitrary", "longest_history"
+    #: (future work §5(1)), or "current_idle".
+    host_selection: str = "arbitrary"
+    #: Background CPU fraction of the local scheduler daemon (<1 %, §3.1).
+    scheduler_daemon_load: float = 0.0025
+    #: Coordinator cycle CPU cost: base + per-station seconds (<1 %, §3.1).
+    coordinator_cycle_base_cost: float = 0.05
+    coordinator_cycle_per_station_cost: float = 0.01
+    #: Poll RPC timeout — a silent station is considered down.
+    rpc_timeout: float = 10.0
+    #: Save the text segment in checkpoints (§2.3 says yes; the shared-
+    #: text optimisation of §4 turns this off).
+    include_text_in_checkpoint: bool = True
+
+    def __post_init__(self):
+        if self.poll_interval <= 0 or self.grace_period < 0:
+            raise SimulationError("bad poll_interval/grace_period")
+        if self.placements_per_cycle < 0 or self.preemptions_per_cycle < 0:
+            raise SimulationError("per-cycle caps must be >= 0")
+        if self.grants_per_station_per_cycle < 1:
+            raise SimulationError("grants_per_station_per_cycle must be >= 1")
+        if (self.max_machines_per_station is not None
+                and self.max_machines_per_station < 1):
+            raise SimulationError("max_machines_per_station must be >= 1")
+        if self.host_selection not in ("arbitrary", "longest_history",
+                                       "current_idle"):
+            raise SimulationError(
+                f"unknown host_selection {self.host_selection!r}"
+            )
+        if (self.periodic_checkpoint_interval is not None
+                and self.periodic_checkpoint_interval <= 0):
+            raise SimulationError("periodic_checkpoint_interval must be > 0")
+        if not 0 <= self.scheduler_daemon_load < 1:
+            raise SimulationError("scheduler_daemon_load must be in [0, 1)")

@@ -1,0 +1,410 @@
+"""The central coordinator daemon.
+
+Every two minutes (§2.1) the coordinator polls all local schedulers and
+learns which stations are idle and which have background jobs waiting.
+It then grants idle-station capacity to requesting stations — at most one
+placement per cycle system-wide (§4) — and, when no station is idle but a
+deprived station wants cycles, orders a priority preemption of a running
+job whose home hoards capacity (§2.4, the Up-Down algorithm).
+
+Deliberately thin, per the paper's design philosophy: it keeps *no* job
+state, only allocation bookkeeping, so its failure stops new allocations
+but affects nothing already running, and it can be restarted anywhere.
+"""
+
+from repro.core import events as ev
+from repro.machine.accounting import COORDINATOR
+from repro.net import Node
+from repro.sim.errors import SimulationError
+
+
+class PollResult:
+    """What one cycle of polling learned about the cluster."""
+
+    __slots__ = ("replies", "unreachable")
+
+    def __init__(self, replies, unreachable):
+        self.replies = replies          # name -> poll reply dict
+        self.unreachable = unreachable  # set of names that timed out
+
+
+class Coordinator(Node):
+    """Capacity allocator for the whole cluster."""
+
+    def __init__(self, sim, net, station_names, policy, bus, config,
+                 host_station=None, reservations=None):
+        super().__init__("coordinator")
+        if not station_names:
+            raise SimulationError("coordinator needs at least one station")
+        self.sim = sim
+        self.net = net
+        self.station_names = list(station_names)
+        self.policy = policy
+        self.bus = bus
+        self.config = config
+        #: Station whose CPU pays the coordinator's overhead (may be None
+        #: in unit tests).
+        self.host_station = host_station
+        #: Optional :class:`~repro.core.reservations.ReservationBook`
+        #: (future work §5(3)); beneficiaries of an active window are
+        #: served ahead of normal allocation.
+        self.reservations = reservations
+        for name in self.station_names:
+            policy.register_station(name)
+        #: host -> home map from the previous cycle's replies, used to
+        #: detect jobs stranded by a host that stopped answering.
+        self._hosting_map = {}
+        #: host -> boot epoch from the previous cycle; a changed epoch
+        #: means the host crashed and rebooted between polls, silently
+        #: killing whatever it hosted.
+        self._boot_epochs = {}
+        self._last_update_at = None
+        self._process = None
+        #: Cycle counters for reports.
+        self.cycles = 0
+        self.grants_issued = 0
+        self.preemptions_ordered = 0
+        net.attach(self)
+
+    def start(self):
+        """Begin the polling/allocation loop.  Idempotent."""
+        if self._process is None:
+            self._process = self.sim.spawn(self._run(), name="coordinator")
+
+    def _run(self):
+        while True:
+            yield self.config.poll_interval
+            if self.crashed:
+                continue
+            poll = yield from self._poll_all()
+            self._detect_lost_hosts(poll)
+            self._allocate(poll)
+            self._charge_overhead()
+
+    # ------------------------------------------------------------------
+    # polling
+
+    def _poll_all(self):
+        """Poll every station concurrently; collect replies/timeouts."""
+        signals = {
+            name: self.net.rpc(name, "poll", None,
+                               timeout=self.config.rpc_timeout)
+            for name in self.station_names
+        }
+        replies = {}
+        unreachable = set()
+        for name, signal in signals.items():
+            status, payload = yield signal
+            if status == "ok":
+                replies[name] = payload
+            else:
+                unreachable.add(name)
+        return PollResult(replies, unreachable)
+
+    def _detect_lost_hosts(self, poll):
+        """Find hosts whose foreign job died with them since last cycle.
+
+        Two signatures: the host stopped answering polls, or it answers
+        with a *newer boot epoch* (it crashed and rebooted entirely
+        between two polls — too fast for a timeout to show).  Either way
+        the job it was hosting is gone; its home is told to restart it
+        from the last checkpoint.
+        """
+        for host, home in list(self._hosting_map.items()):
+            reply = poll.replies.get(host)
+            if host in poll.unreachable:
+                self.net.message(home, "host_lost", {"host": host})
+            elif (reply is not None
+                  and reply["boot_epoch"] != self._boot_epochs.get(host)
+                  and reply["hosting_home"] is None):
+                self.net.message(home, "host_lost", {"host": host})
+        self._hosting_map = {
+            name: reply["hosting_home"]
+            for name, reply in poll.replies.items()
+            if reply["hosting_home"] is not None
+        }
+        self._boot_epochs = {
+            name: reply["boot_epoch"]
+            for name, reply in poll.replies.items()
+        }
+
+    # ------------------------------------------------------------------
+    # allocation
+
+    def _allocate(self, poll):
+        self.cycles += 1
+        now = self.sim.now
+        dt = (now - self._last_update_at if self._last_update_at is not None
+              else self.config.poll_interval)
+        self._last_update_at = now
+
+        wanting = {name for name, reply in poll.replies.items()
+                   if reply["pending"] > 0 or reply.get("pending_gangs")}
+        allocated_counts = {}
+        for reply in poll.replies.values():
+            home = reply["hosting_home"]
+            if home is not None:
+                allocated_counts[home] = allocated_counts.get(home, 0) + 1
+        self.policy.update(wanting, allocated_counts, dt)
+
+        idle_hosts = [
+            name for name, reply in poll.replies.items()
+            if reply["idle"] and reply["hosting_home"] is None
+            and reply["free_mb"] > 0
+        ]
+        ranked = self.policy.rank_requesters(wanting)
+
+        reserved_grants, reserved_preemptions, used_hosts = (
+            self._serve_reservations(poll, wanting, allocated_counts,
+                                     idle_hosts)
+        )
+        idle_hosts = [h for h in idle_hosts if h not in used_hosts]
+        gang_grants = self._serve_gangs(poll, ranked, idle_hosts)
+        gang_hosts = {h for _req, hosts in gang_grants for h in hosts}
+        idle_hosts = [h for h in idle_hosts if h not in gang_hosts]
+        grants = reserved_grants + self._issue_grants(
+            poll, ranked, idle_hosts, allocated_counts)
+        # Record grants provisionally so a host that crashes right after
+        # taking a fresh placement is covered by next cycle's detection
+        # (if the placement never started, the home ignores the notice).
+        for requester, host in grants:
+            self._hosting_map[host] = requester
+        preemptions = reserved_preemptions + self._order_preemptions(
+            poll, ranked, grants, idle_hosts, allocated_counts)
+        self.bus.publish(
+            ev.COORDINATOR_CYCLE,
+            time=now, wanting=sorted(wanting), idle=sorted(idle_hosts),
+            grants=grants, preemptions=preemptions,
+            gang_grants=gang_grants,
+            unreachable=sorted(poll.unreachable),
+        )
+
+    def _serve_gangs(self, poll, ranked, idle_hosts):
+        """Co-allocate machines for pending parallel programs (§5(2)).
+
+        A gang launches only when its full width of machines is idle in
+        one cycle; the burst of simultaneous placements deliberately
+        bypasses the one-per-cycle throttle (the scheduling tension the
+        paper predicted).  One gang per station per cycle.
+        """
+        grants = []
+        available = list(idle_hosts)
+        for requester in ranked:
+            reply = poll.replies.get(requester)
+            if not reply or not reply.get("pending_gangs"):
+                continue
+            width = reply["pending_gangs"][0]
+            if len(available) < width:
+                continue
+            chosen = available[:width]
+            available = available[width:]
+            hosts_payload = [
+                (h, poll.replies[h]["free_mb"], poll.replies[h]["arch"])
+                for h in chosen
+            ]
+            self.net.message(requester, "gang_grant",
+                             {"hosts": hosts_payload})
+            for host in chosen:
+                self._hosting_map[host] = requester
+            self.grants_issued += width
+            grants.append((requester, tuple(chosen)))
+        return grants
+
+    def _serve_reservations(self, poll, wanting, allocated_counts,
+                            idle_hosts):
+        """Grant (or free by preemption) machines owed to active
+        reservations.  Bypasses the placement throttle and per-station
+        caps — that is what a reservation buys — but never touches a
+        machine hosting another reservation beneficiary, and owners keep
+        absolute priority on their own machines regardless."""
+        if self.reservations is None:
+            return [], [], set()
+        counts = self.reservations.reserved_counts(self.sim.now)
+        if not counts:
+            return [], [], set()
+        grants = []
+        preemptions = []
+        used = set()
+        for station in sorted(counts):
+            if station not in wanting:
+                continue
+            reply = poll.replies.get(station)
+            if reply is None:
+                continue
+            deficit = counts[station] - allocated_counts.get(station, 0)
+            deficit = min(deficit, reply["pending"])
+            while deficit > 0:
+                host = next((h for h in idle_hosts if h not in used), None)
+                if host is not None:
+                    used.add(host)
+                    grants.append((station, host))
+                    self.grants_issued += 1
+                    self.net.message(station, "grant", {
+                        "host": host,
+                        "free_mb": poll.replies[host]["free_mb"],
+                        "arch": poll.replies[host]["arch"],
+                    })
+                    self._hosting_map[host] = station
+                else:
+                    victim = self._reservation_victim(poll, counts, used,
+                                                      station)
+                    if victim is None:
+                        break
+                    used.add(victim)
+                    preemptions.append((station, victim))
+                    self.preemptions_ordered += 1
+                    self.net.message(victim, "preempt", {
+                        "for_station": station, "reservation": True,
+                    })
+                deficit -= 1
+        return grants, preemptions, used
+
+    def _reservation_victim(self, poll, reserved_counts, used, requester):
+        """A host to evict for a reservation: hosting for a station that
+        is neither the requester nor itself a reservation beneficiary,
+        richest (highest policy index) first."""
+        candidates = [
+            (name, reply["hosting_home"])
+            for name, reply in poll.replies.items()
+            if reply["hosting_home"] is not None and name not in used
+            and reply["hosting_home"] != requester
+            and reply["hosting_home"] not in reserved_counts
+        ]
+        if not candidates:
+            return None
+        index = getattr(self.policy, "index", lambda name: 0.0)
+        return max(candidates, key=lambda pair: (index(pair[1]), pair[0]))[0]
+
+    def _issue_grants(self, poll, ranked, idle_hosts, allocated_counts):
+        """Hand idle machines to requesters in priority order."""
+        budget = self.config.placements_per_cycle
+        per_station = self.config.grants_per_station_per_cycle
+        cap = self.config.max_machines_per_station
+        available = list(idle_hosts)
+        grants = []
+        granted_to = {}
+        progress = True
+        while budget > 0 and available and progress:
+            progress = False
+            for requester in ranked:
+                if budget == 0 or not available:
+                    break
+                if granted_to.get(requester, 0) >= per_station:
+                    continue
+                if cap is not None and (
+                        allocated_counts.get(requester, 0)
+                        + granted_to.get(requester, 0)) >= cap:
+                    continue
+                host = self._select_host(poll, available)
+                available.remove(host)
+                grants.append((requester, host))
+                granted_to[requester] = granted_to.get(requester, 0) + 1
+                budget -= 1
+                progress = True
+        for requester, host in grants:
+            self.grants_issued += 1
+            self.net.message(requester, "grant", {
+                "host": host, "free_mb": poll.replies[host]["free_mb"],
+                "arch": poll.replies[host]["arch"],
+            })
+        return grants
+
+    def _select_host(self, poll, candidates):
+        """Choose which idle machine to hand out next.
+
+        ``arbitrary`` — deterministic by name (the deployed behaviour);
+        ``longest_history`` — richest mean idle interval so far (the
+        paper's future-work idea §5(1): stations with long past idle
+        intervals tend to stay idle, so jobs placed there move less);
+        ``current_idle`` — idle the longest right now.
+        """
+        mode = self.config.host_selection
+        if mode == "arbitrary":
+            return min(candidates)
+        if mode == "longest_history":
+            def history(name):
+                mean = poll.replies[name]["mean_idle"]
+                return mean if mean is not None else float("inf")
+            return max(candidates, key=lambda n: (history(n), n))
+        return max(candidates, key=lambda n: (poll.replies[n]["current_idle"], n))
+
+    def _order_preemptions(self, poll, ranked, grants, idle_hosts,
+                           allocated_counts):
+        """When the pool is exhausted, evict for deprived requesters."""
+        if not self.policy.allows_preemption:
+            return []
+        budget = self.config.preemptions_per_cycle
+        cap = self.config.max_machines_per_station
+        granted = {requester for requester, _host in grants}
+        used_hosts = {host for _requester, host in grants}
+        holders = [
+            (name, reply["hosting_home"])
+            for name, reply in poll.replies.items()
+            if reply["hosting_home"] is not None and name not in used_hosts
+        ]
+        if set(idle_hosts) - used_hosts:
+            # Machines are still idle (the placement throttle held them
+            # back this cycle); evicting anyone would be gratuitous.
+            return []
+        # Machines working for an active reservation are immune to
+        # ordinary preemption for the duration of the window.
+        reserved = (self.reservations.reserved_counts()
+                    if self.reservations is not None else {})
+        holders = [(host, home) for host, home in holders
+                   if home not in reserved]
+        preemptions = []
+        for requester in ranked:
+            if budget == 0:
+                break
+            if requester in granted:
+                continue
+            if poll.replies[requester]["pending"] == 0:
+                # Only a gang is waiting: a single preempted machine
+                # cannot launch it, so evicting anyone would be waste.
+                continue
+            if cap is not None and allocated_counts.get(requester, 0) >= cap:
+                continue
+            victim_host = self.policy.choose_preemption_victim(
+                requester, holders
+            )
+            if victim_host is None:
+                continue
+            holders = [(h, o) for h, o in holders if h != victim_host]
+            preemptions.append((requester, victim_host))
+            budget -= 1
+            self.preemptions_ordered += 1
+            self.net.message(victim_host, "preempt", {
+                "for_station": requester,
+            })
+        return preemptions
+
+    def _charge_overhead(self):
+        if self.host_station is None:
+            return
+        cost = (self.config.coordinator_cycle_base_cost
+                + self.config.coordinator_cycle_per_station_cost
+                * len(self.station_names))
+        self.host_station.ledger.charge(COORDINATOR, cost)
+
+    # ------------------------------------------------------------------
+    # failure / recovery (§2.1: the coordinator is cheap to move)
+
+    def crash(self):
+        """The coordinator stops: no new allocations, running jobs safe."""
+        self.crashed = True
+
+    def recover_at(self, station):
+        """Restart the coordinator on another machine.
+
+        Only the schedule indexes' history is lost if the caller swaps in
+        a fresh policy; allocation state is rebuilt from the next poll.
+        """
+        self.host_station = station
+        self.crashed = False
+
+    def __repr__(self):
+        return (
+            f"<Coordinator stations={len(self.station_names)} "
+            f"cycles={self.cycles} grants={self.grants_issued} "
+            f"preemptions={self.preemptions_ordered}>"
+        )

@@ -1,0 +1,12 @@
+"""Scheduler-level error types."""
+
+from repro.sim.errors import SimulationError
+
+
+class SchedulingError(SimulationError):
+    """Base class for Condor scheduling errors."""
+
+
+class SubmissionRefused(SchedulingError):
+    """A job could not be accepted — typically the submitting station's
+    disk cannot hold its checkpoint image (paper §4)."""

@@ -1,0 +1,58 @@
+"""A tiny publish/subscribe bus decoupling the schedulers from metrics.
+
+The daemons publish lifecycle events; the metrics layer (and tests)
+subscribe.  Event names are module constants so typos fail loudly.
+"""
+
+from repro.sim.errors import SimulationError
+
+JOB_SUBMITTED = "job_submitted"
+JOB_REFUSED = "job_refused"                  # submit rejected (disk full)
+JOB_PLACED = "job_placed"                    # image arrived, execution began
+JOB_PLACEMENT_FAILED = "job_placement_failed"
+JOB_SUSPENDED = "job_suspended"              # owner returned, grace started
+JOB_RESUMED = "job_resumed"                  # owner left within grace
+JOB_VACATED = "job_vacated"                  # checkpointed back home
+JOB_KILLED = "job_killed"                    # killed without checkpoint
+JOB_PREEMPTED = "job_preempted"              # coordinator priority preemption
+JOB_PERIODIC_CHECKPOINT = "job_periodic_checkpoint"
+JOB_COMPLETED = "job_completed"
+JOB_REMOVED = "job_removed"
+HOST_LOST = "host_lost"                      # hosting station went down
+COORDINATOR_CYCLE = "coordinator_cycle"
+
+ALL_EVENTS = (
+    JOB_SUBMITTED, JOB_REFUSED, JOB_PLACED, JOB_PLACEMENT_FAILED,
+    JOB_SUSPENDED, JOB_RESUMED, JOB_VACATED, JOB_KILLED, JOB_PREEMPTED,
+    JOB_PERIODIC_CHECKPOINT, JOB_COMPLETED, JOB_REMOVED, HOST_LOST,
+    COORDINATOR_CYCLE,
+)
+
+
+class EventBus:
+    """Synchronous pub/sub keyed by event name."""
+
+    def __init__(self):
+        self._subscribers = {event: [] for event in ALL_EVENTS}
+        #: Running count per event, handy in tests and reports.
+        self.counts = {event: 0 for event in ALL_EVENTS}
+
+    def subscribe(self, event, callback):
+        """Register ``callback(**payload)`` for ``event``."""
+        self._check(event)
+        self._subscribers[event].append(callback)
+
+    def publish(self, event, **payload):
+        """Deliver ``payload`` to every subscriber of ``event``."""
+        self._check(event)
+        self.counts[event] += 1
+        for callback in list(self._subscribers[event]):
+            callback(**payload)
+
+    def _check(self, event):
+        if event not in self._subscribers:
+            raise SimulationError(f"unknown event {event!r}")
+
+    def __repr__(self):
+        live = {e: c for e, c in self.counts.items() if c}
+        return f"<EventBus {live}>"

@@ -1,0 +1,110 @@
+"""Local-only execution baseline: no Condor, jobs run at home.
+
+The comparator implied throughout the paper: a user without Condor runs
+background jobs on their own workstation, timesharing with their own
+foreground activity (here: background jobs simply pause while the owner
+is active, losing no work).  Used by the leverage and ablation benches to
+answer "was remote execution worth it for this job?" — e.g. a job issuing
+hundreds of system calls per second is better off here (§3.1).
+"""
+
+from repro.core import events as ev
+from repro.core import job as jobstate
+from repro.machine.accounting import LOCAL_JOB
+from repro.remote_unix import LOCAL_SYSCALL_CPU_S
+
+
+class LocalRunner:
+    """Runs one station's own jobs serially on that station."""
+
+    def __init__(self, sim, station, bus=None):
+        self.sim = sim
+        self.station = station
+        self.bus = bus
+        self._pending = []
+        self._current = None
+        self._run_started_at = None
+        self._completion_handle = None
+        self.completed = []
+        station.on_owner_change(self._owner_changed)
+
+    def submit(self, job):
+        """Queue a job for local execution."""
+        job.submitted_at = self.sim.now
+        self._pending.append(job)
+        if self.bus is not None:
+            self.bus.publish(ev.JOB_SUBMITTED, job=job,
+                             station=self.station.name)
+        self._maybe_start()
+
+    @property
+    def queue_length(self):
+        pending = len(self._pending)
+        return pending + (1 if self._current is not None else 0)
+
+    def _effective_demand(self, job):
+        """CPU needed locally: compute plus locally cheap system calls."""
+        syscall_overhead = job.syscall_rate * LOCAL_SYSCALL_CPU_S
+        return job.demand_seconds * (1.0 + syscall_overhead)
+
+    def _maybe_start(self):
+        if self._current is not None or not self._pending:
+            return
+        if self.station.owner_active:
+            return
+        job = self._pending.pop(0)
+        self._current = job
+        job.transition(jobstate.PLACING)
+        job.transition(jobstate.RUNNING)
+        if job.first_placed_at is None:
+            job.first_placed_at = self.sim.now
+        self._begin_slice()
+
+    def _begin_slice(self):
+        job = self._current
+        self._run_started_at = self.sim.now
+        self.station.ledger.start(LOCAL_JOB)
+        remaining = (self._effective_demand(job) - job.progress)
+        wall = remaining / self.station.cpu_speed
+        self._completion_handle = self.sim.schedule(wall, self._finished)
+
+    def _close_slice(self):
+        elapsed = self.sim.now - self._run_started_at
+        self._run_started_at = None
+        self.station.ledger.stop(LOCAL_JOB)
+        self._current.progress += elapsed * self.station.cpu_speed
+        if self._completion_handle is not None:
+            self._completion_handle.cancel()
+            self._completion_handle = None
+
+    def _owner_changed(self, station, active):
+        if self._current is None:
+            if not active:
+                self._maybe_start()
+            return
+        job = self._current
+        if active and job.state == jobstate.RUNNING:
+            self._close_slice()
+            job.transition(jobstate.SUSPENDED)
+        elif not active and job.state == jobstate.SUSPENDED:
+            job.transition(jobstate.RUNNING)
+            self._begin_slice()
+
+    def _finished(self):
+        job = self._current
+        self._close_slice()
+        job.progress = job.demand_seconds
+        job.transition(jobstate.COMPLETED)
+        job.completed_at = self.sim.now
+        self._current = None
+        self.completed.append(job)
+        if self.bus is not None:
+            self.bus.publish(ev.JOB_COMPLETED, job=job,
+                             station=self.station.name)
+        self._maybe_start()
+
+    def __repr__(self):
+        return (
+            f"<LocalRunner {self.station.name} queue={self.queue_length} "
+            f"done={len(self.completed)}>"
+        )

@@ -1,0 +1,630 @@
+"""The per-workstation local scheduler daemon.
+
+Each workstation runs one of these (§2.1).  It plays two roles at once:
+
+* **submit side** — owns the station's background job queue, answers the
+  coordinator's polls, reacts to capacity grants by placing its own jobs
+  at granted machines, and receives checkpoints/completions back;
+* **host side** — supervises the one foreign job executing locally,
+  stops it the instant the owner returns, waits the 5-minute grace
+  period, and checkpoints it away if the owner stays (§4), or vacates it
+  immediately when the coordinator orders a priority preemption.
+
+All costs the paper measures are charged here: placement and checkpoint
+CPU at 5 s/MB on the *home* station, remote-syscall shadow load on the
+home station while the job runs, and the daemon's own <1 % background
+load.
+"""
+
+from repro.core import events as ev
+from repro.core import job as jobstate
+from repro.core.errors import SchedulingError, SubmissionRefused
+from repro.core.queue import BackgroundJobQueue
+from repro.machine.accounting import CHECKPOINT, PLACEMENT, REMOTE_JOB, SCHEDULER
+from repro.machine.disk import DiskFullError
+from repro.net import Node
+from repro.remote_unix import (
+    CheckpointImage,
+    CheckpointStore,
+    ShadowProcess,
+    checkpoint_cpu_cost,
+)
+from repro.sim import HOUR
+
+#: Vacate reasons recorded on JOB_VACATED events.
+REASON_OWNER_RETURNED = "owner_returned"
+REASON_PRIORITY = "priority_preemption"
+
+
+class HostedExecution:
+    """Host-side record of the one foreign job executing here."""
+
+    __slots__ = ("job", "home_name", "allocation", "run_started_at",
+                 "completion_handle", "grace_handle", "periodic_handle",
+                 "slices")
+
+    def __init__(self, job, home_name, allocation):
+        self.job = job
+        self.home_name = home_name
+        self.allocation = allocation
+        self.run_started_at = None
+        self.completion_handle = None
+        self.grace_handle = None
+        self.periodic_handle = None
+        #: Wall-clock (start, end) execution slices since placement,
+        #: reported home for shadow/syscall accounting.
+        self.slices = []
+
+    def cancel_timers(self):
+        for handle in (self.completion_handle, self.grace_handle,
+                       self.periodic_handle):
+            if handle is not None:
+                handle.cancel()
+        self.completion_handle = None
+        self.grace_handle = None
+        self.periodic_handle = None
+
+
+class LocalScheduler(Node):
+    """One station's Condor daemon (submit side + host side)."""
+
+    def __init__(self, sim, net, station, bus, config):
+        super().__init__(station.name)
+        self.sim = sim
+        self.net = net
+        self.station = station
+        self.bus = bus
+        self.config = config
+        self.queue = BackgroundJobQueue(station.name, config.queue_discipline)
+        self.store = CheckpointStore(station.disk)
+        #: Home-side shadows for this station's remotely running jobs.
+        self.shadows = {}
+        #: Home-side map host-station-name -> our job placed there.
+        self.active_by_host = {}
+        #: Host-side record of the foreign job running here.
+        self.hosted = None
+        #: Incremented on every recovery; lets the coordinator detect a
+        #: crash-and-reboot that fell between two polls.
+        self.boot_epoch = 0
+        #: Gangs waiting for a coordinated ``width``-machine launch.
+        self.pending_gangs = []
+        self._started = False
+
+        net.attach(self)
+        self.register_handler("poll", self._handle_poll)
+        self.register_handler("grant", self._handle_grant)
+        self.register_handler("gang_grant", self._handle_gang_grant)
+        self.register_handler("start_job", self._handle_start_job)
+        self.register_handler("preempt", self._handle_preempt)
+        self.register_handler("host_lost", self._handle_host_lost)
+        self.register_handler("job_vacated", self._handle_job_vacated)
+        self.register_handler("job_completed", self._handle_job_completed)
+        self.register_handler("job_killed", self._handle_job_killed)
+        self.register_handler("periodic_checkpoint",
+                              self._handle_periodic_checkpoint)
+        station.on_owner_change(self._owner_changed)
+
+    def start(self):
+        """Start the station and the daemon-overhead bookkeeping."""
+        if self._started:
+            return
+        self._started = True
+        self.station.start()
+        if self.config.scheduler_daemon_load > 0:
+            self.sim.spawn(self._daemon_overhead(),
+                           name=f"{self.name}.daemon")
+
+    def _daemon_overhead(self):
+        # Book the daemon's small background load in hourly chunks so the
+        # utilisation time series sees it spread, not lumped at the end.
+        while True:
+            yield HOUR
+            if not self.crashed:
+                self.station.ledger.add_load(
+                    SCHEDULER, self.sim.now - HOUR, self.sim.now,
+                    self.config.scheduler_daemon_load,
+                )
+
+    # ==================================================================
+    # submit side
+    # ==================================================================
+
+    def submit(self, job):
+        """Accept a background job from this station's user.
+
+        Stores the job's initial image (its executable) among the local
+        checkpoint files; raises :class:`SubmissionRefused` when the disk
+        cannot hold it (§4's disk-pressure failure mode).
+        """
+        if job.home != self.station.name:
+            raise SchedulingError(
+                f"{job.name} submitted at {self.station.name} but its home "
+                f"is {job.home}"
+            )
+        job.submitted_at = self.sim.now
+        image_mb = job.image_mb()
+        if not self.store.can_store(job.id, image_mb):
+            self.bus.publish(ev.JOB_REFUSED, job=job, station=self.name)
+            raise SubmissionRefused(
+                f"{self.name}: no disk for {job.name}'s {image_mb:.2f} MB image"
+            )
+        self.store.store(CheckpointImage(
+            job.id, 0.0, image_mb, self.sim.now,
+            sequence=self.store.images_stored + 1,
+        ))
+        self.queue.enqueue(job)
+        self.bus.publish(ev.JOB_SUBMITTED, job=job, station=self.name)
+
+    def remove(self, job):
+        """Withdraw a *pending* job (completed/placed jobs cannot be)."""
+        if job.state != jobstate.PENDING:
+            raise SchedulingError(
+                f"can only remove pending jobs, {job.name} is {job.state}"
+            )
+        self.queue.retire(job)
+        self.store.discard(job.id)
+        job.transition(jobstate.REMOVED)
+        self.bus.publish(ev.JOB_REMOVED, job=job, station=self.name)
+
+    def _handle_poll(self, payload):
+        """Answer the coordinator: am I idle, what do I want, whom do I host."""
+        return {
+            "idle": self.station.idle,
+            "hosting_home": self.hosted.home_name if self.hosted else None,
+            "pending": self.queue.pending_count,
+            "free_mb": self.station.disk.free_mb,
+            "mean_idle": self.station.mean_idle_interval(),
+            "current_idle": self.station.current_idle_seconds(),
+            "boot_epoch": self.boot_epoch,
+            "arch": self.station.arch,
+            "pending_gangs": [gang.width for gang in self.pending_gangs],
+        }
+
+    def submit_gang(self, gang):
+        """Accept a parallel program for a coordinated launch (§5(2)).
+
+        All member images must fit on the local disk together, or the
+        whole gang is refused — half a parallel program is useless.
+        """
+        if gang.home != self.station.name:
+            raise SchedulingError(
+                f"{gang.name} submitted at {self.station.name} but its "
+                f"home is {gang.home}"
+            )
+        total_mb = sum(member.image_mb() for member in gang.members)
+        if total_mb > self.station.disk.free_mb + 1e-9:
+            self.bus.publish(ev.JOB_REFUSED, job=gang, station=self.name)
+            raise SubmissionRefused(
+                f"{self.name}: no disk for {gang.name}'s "
+                f"{total_mb:.2f} MB of member images"
+            )
+        gang.submitted_at = self.sim.now
+        for member in gang.members:
+            member.submitted_at = self.sim.now
+            self.store.store(CheckpointImage(
+                member.id, 0.0, member.image_mb(), self.sim.now,
+                sequence=self.store.images_stored + 1,
+            ))
+            self.bus.publish(ev.JOB_SUBMITTED, job=member,
+                             station=self.name)
+        self.pending_gangs.append(gang)
+
+    def _handle_gang_grant(self, payload):
+        """The coordinator co-allocated machines: launch a whole gang."""
+        hosts = payload["hosts"]   # [(name, free_mb, arch), ...]
+        gang = next((g for g in self.pending_gangs
+                     if g.width <= len(hosts)), None)
+        if gang is None:
+            return
+        self.pending_gangs.remove(gang)
+        gang.launched_at = self.sim.now
+        for member, (host_name, free_mb, arch) in zip(gang.members, hosts):
+            self.queue.mark_active(member)
+            if member.image_mb() <= free_mb + 1e-9 and member.runs_on(arch):
+                self._begin_placement(member, host_name)
+            else:
+                # This member cannot use its assigned machine; it falls
+                # back to the ordinary queue and catches up later.
+                self.queue.return_to_pending(member)
+
+    def _handle_grant(self, payload):
+        """The coordinator granted us a machine — place our next job on it."""
+        host_name = payload["host"]
+        host_free_mb = payload["free_mb"]
+        host_arch = payload.get("arch", self.station.arch)
+        job = self._pick_job_that_fits(host_free_mb, host_arch)
+        if job is None:
+            return
+        self.queue.mark_active(job)
+        self._begin_placement(job, host_name)
+
+    def _begin_placement(self, job, host_name):
+        """Ship the job's image to the host and ask it to start."""
+        job.transition(jobstate.PLACING)
+        self.active_by_host[host_name] = job
+        image_mb = job.image_mb()
+        cost = checkpoint_cpu_cost(image_mb)
+        self.station.ledger.charge(PLACEMENT, cost)
+        job.add_support("placement", cost)
+        if job.id not in self.shadows:
+            self.shadows[job.id] = ShadowProcess(
+                job.id, job.syscall_rate, self.station.ledger
+            )
+        transfer = self.net.transfer(self.name, host_name, image_mb)
+        transfer.add_waiter(lambda _t: self._image_delivered(job, host_name))
+
+    def _pick_job_that_fits(self, host_free_mb, host_arch):
+        """Next pending job (per discipline) that fits the host's disk
+        and can execute on its architecture (§5(4))."""
+        skipped = []
+        chosen = None
+        while True:
+            job = self.queue.select_next()
+            if job is None:
+                break
+            if (job.image_mb() <= host_free_mb + 1e-9
+                    and job.runs_on(host_arch)):
+                chosen = job
+                break
+            skipped.append(job)
+        for job in skipped:
+            self.queue.enqueue(job)
+        return chosen
+
+    def _image_delivered(self, job, host_name):
+        """The image reached the host; ask its scheduler to start the job."""
+        result = self.net.rpc(
+            host_name, "start_job",
+            {"job": job, "home": self.name},
+            timeout=self.config.rpc_timeout,
+        )
+        result.add_waiter(lambda outcome: self._placement_settled(
+            job, host_name, outcome))
+
+    def _placement_settled(self, job, host_name, outcome):
+        status, detail = outcome
+        accepted = status == "ok" and detail[0] == "started"
+        if accepted:
+            return  # the host published JOB_PLACED and is executing it
+        if self.active_by_host.get(host_name) is not job:
+            return  # a host-lost notice already resolved this placement
+        self.active_by_host.pop(host_name, None)
+        if job.state == jobstate.PLACING:
+            job.transition(jobstate.PENDING)
+            self.queue.return_to_pending(job)
+        reason = detail[1] if status == "ok" else "host_unreachable"
+        self.bus.publish(ev.JOB_PLACEMENT_FAILED, job=job, host=host_name,
+                         reason=reason)
+
+    def _record_slices(self, job, slices):
+        """Book shadow syscall support for the reported execution slices."""
+        shadow = self.shadows.get(job.id)
+        if shadow is None or shadow.retired:
+            return
+        for t0, t1 in slices:
+            charged = shadow.record_execution(t0, t1)
+            job.add_support("syscall", charged)
+
+    def _handle_job_vacated(self, payload):
+        """Our job was checkpointed off its host and the image arrived."""
+        job = payload["job"]
+        host = payload["host"]
+        image_mb = payload["image_mb"]
+        self._record_slices(job, payload["slices"])
+        cost = checkpoint_cpu_cost(image_mb)
+        self.station.ledger.charge(CHECKPOINT, cost)
+        job.add_support("checkpoint", cost)
+        try:
+            self.store.store(CheckpointImage(
+                job.id, job.progress, image_mb, self.sim.now,
+                sequence=self.store.images_stored + 1,
+            ))
+            job.checkpointed_progress = job.progress
+        except DiskFullError:
+            # The checkpoint came home to a full disk: the image is lost
+            # and the job will restart from its previous stored image.
+            job.roll_back_to_checkpoint()
+        job.checkpoint_count += 1
+        self.active_by_host.pop(host, None)
+        job.transition(jobstate.PENDING)
+        self.queue.return_to_pending(job)
+        self.bus.publish(ev.JOB_VACATED, job=job, host=host,
+                         reason=payload["reason"])
+
+    def _handle_job_completed(self, payload):
+        job = payload["job"]
+        host = payload["host"]
+        self._record_slices(job, payload["slices"])
+        job.transition(jobstate.COMPLETED)
+        job.completed_at = self.sim.now
+        self.active_by_host.pop(host, None)
+        self.queue.retire(job)
+        self.store.discard(job.id)
+        shadow = self.shadows.pop(job.id, None)
+        if shadow is not None:
+            shadow.retire()
+        self.bus.publish(ev.JOB_COMPLETED, job=job, station=self.name)
+
+    def _handle_job_killed(self, payload):
+        """Butler-mode: our job was killed without a checkpoint."""
+        job = payload["job"]
+        host = payload["host"]
+        self._record_slices(job, payload["slices"])
+        job.roll_back_to_checkpoint()
+        job.kill_count += 1
+        self.active_by_host.pop(host, None)
+        job.transition(jobstate.PENDING)
+        self.queue.return_to_pending(job)
+        self.bus.publish(ev.JOB_KILLED, job=job, host=host)
+
+    def _handle_host_lost(self, payload):
+        """Coordinator says a machine hosting our job went down."""
+        host = payload["host"]
+        job = self.active_by_host.pop(host, None)
+        if job is None or not job.in_system or job.state == jobstate.PENDING:
+            return
+        job.roll_back_to_checkpoint()
+        job.transition(jobstate.PENDING)
+        self.queue.return_to_pending(job)
+        self.bus.publish(ev.HOST_LOST, job=job, host=host)
+
+    def _handle_periodic_checkpoint(self, payload):
+        """A periodic (in-place) checkpoint image arrived from the host."""
+        job = payload["job"]
+        image_mb = payload["image_mb"]
+        progress = payload["progress"]
+        if payload["incarnation"] != job.incarnation:
+            return  # stale: the job was killed/moved while this was in flight
+        if progress <= job.checkpointed_progress:
+            return  # a newer (vacate) checkpoint already superseded this one
+        cost = checkpoint_cpu_cost(image_mb)
+        self.station.ledger.charge(CHECKPOINT, cost)
+        job.add_support("checkpoint", cost)
+        try:
+            self.store.store(CheckpointImage(
+                job.id, progress, image_mb, self.sim.now,
+                sequence=self.store.images_stored + 1,
+            ))
+            job.checkpointed_progress = progress
+            if job.state == jobstate.PENDING and progress > job.progress:
+                # The job was killed after this image was cut: the image
+                # recovers work the rollback had written off.
+                job.progress = progress
+            job.periodic_checkpoint_count += 1
+            self.bus.publish(ev.JOB_PERIODIC_CHECKPOINT, job=job,
+                             station=self.name)
+        except DiskFullError:
+            pass  # keep the older image; strictly worse but safe
+
+    # ==================================================================
+    # host side
+    # ==================================================================
+
+    def _handle_start_job(self, payload):
+        """RPC from a home station asking us to run its job."""
+        job = payload["job"]
+        home = payload["home"]
+        if self.crashed:
+            return ("refused", "crashed")
+        if self.station.owner_active:
+            return ("refused", "owner_active")
+        if self.hosted is not None:
+            return ("refused", "occupied")
+        if not job.runs_on(self.station.arch):
+            return ("refused", "wrong_arch")
+        try:
+            allocation = self.station.disk.allocate(
+                job.image_mb(), purpose="foreign-image"
+            )
+        except DiskFullError:
+            return ("refused", "disk_full")
+        job.transition(jobstate.RUNNING)
+        job.locked_arch = self.station.arch
+        job.incarnation += 1
+        if job.first_placed_at is None:
+            job.first_placed_at = self.sim.now
+        job.placements.append(self.name)
+        self.hosted = HostedExecution(job, home, allocation)
+        self.station.running_job = job
+        self._begin_run_slice()
+        self.bus.publish(ev.JOB_PLACED, job=job, host=self.name, home=home)
+        return ("started", None)
+
+    def _begin_run_slice(self):
+        hosted = self.hosted
+        hosted.run_started_at = self.sim.now
+        self.station.ledger.start(REMOTE_JOB)
+        wall_needed = hosted.job.remaining_seconds / self.station.cpu_speed
+        hosted.completion_handle = self.sim.schedule(
+            wall_needed, self._hosted_job_finished
+        )
+        interval = self.config.periodic_checkpoint_interval
+        if interval is not None:
+            hosted.periodic_handle = self.sim.schedule(
+                interval, self._take_periodic_checkpoint
+            )
+
+    def _close_run_slice(self):
+        """Stop execution accrual; credit progress and remote CPU."""
+        hosted = self.hosted
+        t0 = hosted.run_started_at
+        t1 = self.sim.now
+        hosted.run_started_at = None
+        if hosted.completion_handle is not None:
+            hosted.completion_handle.cancel()
+            hosted.completion_handle = None
+        if hosted.periodic_handle is not None:
+            hosted.periodic_handle.cancel()
+            hosted.periodic_handle = None
+        self.station.ledger.stop(REMOTE_JOB)
+        cpu = (t1 - t0) * self.station.cpu_speed
+        hosted.job.progress = min(
+            hosted.job.demand_seconds, hosted.job.progress + cpu
+        )
+        hosted.job.remote_cpu_seconds += cpu
+        hosted.slices.append((t0, t1))
+
+    def _owner_changed(self, station, active):
+        if self.hosted is None:
+            return
+        job = self.hosted.job
+        if active and job.state == jobstate.RUNNING:
+            self._close_run_slice()
+            if self.config.kill_on_owner_return:
+                self._kill_hosted()
+                return
+            job.transition(jobstate.SUSPENDED)
+            self.hosted.grace_handle = self.sim.schedule(
+                self.config.grace_period, self._grace_expired
+            )
+            self.bus.publish(ev.JOB_SUSPENDED, job=job, host=self.name)
+        elif not active and job.state == jobstate.SUSPENDED:
+            self.hosted.grace_handle.cancel()
+            self.hosted.grace_handle = None
+            job.transition(jobstate.RUNNING)
+            self._begin_run_slice()
+            self.bus.publish(ev.JOB_RESUMED, job=job, host=self.name)
+
+    def _grace_expired(self):
+        """Owner stayed past the grace period: checkpoint the job away."""
+        if self.hosted is None or self.hosted.job.state != jobstate.SUSPENDED:
+            return
+        self._vacate(REASON_OWNER_RETURNED)
+
+    def _handle_preempt(self, payload):
+        """Coordinator preemption order: vacate immediately, no grace."""
+        if self.hosted is None:
+            return
+        job = self.hosted.job
+        if job.state == jobstate.RUNNING:
+            self._close_run_slice()
+        elif job.state == jobstate.SUSPENDED:
+            self.hosted.grace_handle.cancel()
+            self.hosted.grace_handle = None
+        else:
+            return  # already vacating
+        job.priority_preemptions += 1
+        self.bus.publish(ev.JOB_PREEMPTED, job=job, host=self.name)
+        self._vacate(REASON_PRIORITY)
+
+    def _vacate(self, reason):
+        """Checkpoint the hosted job and ship the image home."""
+        hosted = self.hosted
+        job = hosted.job
+        job.transition(jobstate.VACATING)
+        image_mb = job.layout.image_mb(
+            job.progress, include_text=self.config.include_text_in_checkpoint
+        )
+        transfer = self.net.transfer(self.name, hosted.home_name, image_mb)
+        transfer.add_waiter(
+            lambda _t: self._vacate_transfer_done(hosted, image_mb, reason)
+        )
+
+    def _vacate_transfer_done(self, hosted, image_mb, reason):
+        if self.crashed:
+            return  # the machine died mid-transfer; home learns via host_lost
+        # Disk is held until the checkpoint leaves (§4) — release now.
+        hosted.allocation.release()
+        self.station.running_job = None
+        self.hosted = None
+        self.net.message(hosted.home_name, "job_vacated", {
+            "job": hosted.job, "host": self.name, "slices": hosted.slices,
+            "image_mb": image_mb, "reason": reason,
+        })
+
+    def _kill_hosted(self):
+        """Butler-mode removal: terminate without saving state (§1)."""
+        hosted = self.hosted
+        hosted.cancel_timers()
+        hosted.allocation.release()
+        self.station.running_job = None
+        self.hosted = None
+        self.net.message(hosted.home_name, "job_killed", {
+            "job": hosted.job, "host": self.name, "slices": hosted.slices,
+        })
+
+    def _hosted_job_finished(self):
+        """The hosted job's demand is met."""
+        hosted = self.hosted
+        self._close_run_slice()
+        hosted.job.progress = hosted.job.demand_seconds  # shed float dust
+        hosted.allocation.release()
+        self.station.running_job = None
+        self.hosted = None
+        self.net.message(hosted.home_name, "job_completed", {
+            "job": hosted.job, "host": self.name, "slices": hosted.slices,
+        })
+
+    def _take_periodic_checkpoint(self):
+        """Ship a checkpoint home while the job keeps running (§4 plan)."""
+        hosted = self.hosted
+        if hosted is None or hosted.run_started_at is None:
+            return
+        job = hosted.job
+        progress_now = job.progress + (
+            (self.sim.now - hosted.run_started_at) * self.station.cpu_speed
+        )
+        image_mb = job.layout.image_mb(
+            progress_now, include_text=self.config.include_text_in_checkpoint
+        )
+        transfer = self.net.transfer(self.name, hosted.home_name, image_mb)
+        home = hosted.home_name
+
+        incarnation = job.incarnation
+
+        def deliver(_t):
+            self.net.message(home, "periodic_checkpoint", {
+                "job": job, "image_mb": image_mb, "progress": progress_now,
+                "incarnation": incarnation,
+            })
+
+        transfer.add_waiter(deliver)
+        hosted.periodic_handle = self.sim.schedule(
+            self.config.periodic_checkpoint_interval,
+            self._take_periodic_checkpoint,
+        )
+
+    # ==================================================================
+    # failures
+    # ==================================================================
+
+    def crash(self):
+        """The whole machine goes down.
+
+        A hosted foreign job is stranded (its home learns from the
+        coordinator's next failed poll); the local queue freezes until
+        :meth:`recover`.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        if self.hosted is not None:
+            hosted = self.hosted
+            hosted.cancel_timers()
+            if hosted.run_started_at is not None:
+                # The partial slice dies with the machine: the cycles were
+                # consumed but produce no durable progress.
+                elapsed_cpu = (
+                    (self.sim.now - hosted.run_started_at)
+                    * self.station.cpu_speed
+                )
+                hosted.job.remote_cpu_seconds += elapsed_cpu
+                hosted.job.wasted_cpu_seconds += elapsed_cpu
+                self.station.ledger.stop(REMOTE_JOB)
+                hosted.run_started_at = None
+            hosted.allocation.release()
+            self.station.running_job = None
+            self.hosted = None
+
+    def recover(self):
+        """The machine comes back up with an empty foreign-job slot."""
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.boot_epoch += 1
+
+    def __repr__(self):
+        return (
+            f"<LocalScheduler {self.name} queue={self.queue.total_in_system} "
+            f"hosting={self.hosted.job.name if self.hosted else None}>"
+        )

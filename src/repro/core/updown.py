@@ -1,0 +1,108 @@
+"""The Up-Down fair-share allocation policy (Mutka & Livny 1987, §2.4).
+
+The coordinator keeps a *schedule index* per workstation:
+
+* while a station holds remote capacity, its index rises (proportionally
+  to how many machines it holds);
+* while it wants capacity and is denied, its index falls;
+* otherwise the index relaxes toward zero.
+
+A lower index means higher priority.  The effect the paper demonstrates
+(Fig. 4): a heavy user who keeps 30+ jobs in the system accumulates a
+large index and queues behind light users, whose occasional small batches
+are served immediately — yet the heavy user still soaks up all capacity
+nobody else wants.
+"""
+
+from repro.sim.errors import SimulationError
+
+
+class UpDownPolicy:
+    """Schedule-index bookkeeping plus ranking and preemption choice.
+
+    Parameters
+    ----------
+    up_rate:
+        Index increase per allocated machine per minute of holding it.
+    down_rate:
+        Index decrease per minute spent wanting capacity and getting none.
+    decay_rate:
+        Drift toward zero per minute when neither using nor wanting.
+    preemption_margin:
+        A requester only preempts a holder whose index exceeds the
+        requester's by at least this much — hysteresis against thrashing.
+    """
+
+    name = "up-down"
+    allows_preemption = True
+
+    def __init__(self, up_rate=1.0, down_rate=1.0, decay_rate=0.25,
+                 preemption_margin=2.0):
+        if min(up_rate, down_rate, decay_rate) < 0 or preemption_margin < 0:
+            raise SimulationError("Up-Down rates must be >= 0")
+        self.up_rate = up_rate
+        self.down_rate = down_rate
+        self.decay_rate = decay_rate
+        self.preemption_margin = preemption_margin
+        self._index = {}
+
+    def register_station(self, name):
+        """Start tracking a station; initial index is zero (§2.4)."""
+        self._index.setdefault(name, 0.0)
+
+    def index(self, name):
+        """Current schedule index of ``name`` (0.0 if never seen)."""
+        return self._index.get(name, 0.0)
+
+    def update(self, wanting, allocated_counts, dt_seconds):
+        """One coordinator cycle's index maintenance.
+
+        ``wanting`` — stations with pending jobs that got nothing yet;
+        ``allocated_counts`` — station -> number of machines it holds;
+        ``dt_seconds`` — time since the previous update.
+        """
+        dt_minutes = dt_seconds / 60.0
+        for name in self._index:
+            held = allocated_counts.get(name, 0)
+            if held > 0:
+                self._index[name] += self.up_rate * held * dt_minutes
+            elif name in wanting:
+                self._index[name] -= self.down_rate * dt_minutes
+            else:
+                # Relax toward zero so ancient history fades.
+                index = self._index[name]
+                step = self.decay_rate * dt_minutes
+                if index > 0:
+                    self._index[name] = max(0.0, index - step)
+                elif index < 0:
+                    self._index[name] = min(0.0, index + step)
+
+    def rank_requesters(self, requesters):
+        """Order stations wanting capacity, most-deprived (lowest index)
+        first; name breaks ties deterministically."""
+        return sorted(requesters, key=lambda name: (self.index(name), name))
+
+    def choose_preemption_victim(self, requester, holders):
+        """Pick the hosting assignment to preempt for ``requester``.
+
+        ``holders`` is ``[(host_name, home_name), ...]`` for every machine
+        currently executing a foreign job.  Returns a ``host_name`` whose
+        job's *home* has the highest index, provided that index exceeds
+        the requester's by the margin; else ``None`` (no preemption).
+        """
+        best = None
+        best_index = None
+        for host, home in holders:
+            if home == requester:
+                continue
+            home_index = self.index(home)
+            if best_index is None or home_index > best_index:
+                best, best_index = host, home_index
+        if best is None:
+            return None
+        if best_index < self.index(requester) + self.preemption_margin:
+            return None
+        return best
+
+    def __repr__(self):
+        return f"<UpDownPolicy {dict(sorted(self._index.items()))}>"

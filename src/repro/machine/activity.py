@@ -1,0 +1,70 @@
+"""Owner-activity recording and replay.
+
+An :class:`OwnerActivityRecorder` attached to a station captures the
+owner's active intervals during a run; :func:`to_trace_owner` turns them
+back into a :class:`~repro.machine.owner.TraceOwner` so a *different*
+scheduler configuration can be evaluated against the exact availability
+pattern — the workstation-side analogue of the workload traces in
+:mod:`repro.workload.traces`.
+"""
+
+import json
+
+from repro.machine.owner import TraceOwner
+from repro.sim.errors import SimulationError
+
+
+class OwnerActivityRecorder:
+    """Records one station's owner-active intervals."""
+
+    def __init__(self, station):
+        self.station = station
+        self.intervals = []
+        self._active_since = None
+        if station.owner_active:
+            self._active_since = station.sim.now
+        station.on_owner_change(self._on_change)
+
+    def _on_change(self, station, active):
+        if active:
+            self._active_since = station.sim.now
+        elif self._active_since is not None:
+            self.intervals.append((self._active_since, station.sim.now))
+            self._active_since = None
+
+    def close(self, horizon):
+        """Close a still-open interval at the run horizon."""
+        if self._active_since is not None:
+            self.intervals.append((self._active_since, horizon))
+            self._active_since = None
+        return self.intervals
+
+
+def to_trace_owner(intervals):
+    """A TraceOwner replaying the recorded intervals."""
+    return TraceOwner(intervals)
+
+
+def record_cluster(stations):
+    """Recorder per station; returns ``{name: recorder}``."""
+    return {station.name: OwnerActivityRecorder(station)
+            for station in stations}
+
+
+def dump_activity(recorders, horizon, path):
+    """Write all recorded activity as JSON ``{station: [[s, e], ...]}``."""
+    data = {name: recorder.close(horizon)
+            for name, recorder in recorders.items()}
+    with open(path, "w") as f:
+        json.dump(data, f, indent=1)
+    return data
+
+
+def load_activity(path):
+    """Read an activity JSON back as ``{station: TraceOwner}``."""
+    with open(path) as f:
+        data = json.load(f)
+    if not isinstance(data, dict):
+        raise SimulationError(f"bad activity file {path}")
+    return {name: TraceOwner([tuple(iv) for iv in intervals])
+            for name, intervals in data.items()}

@@ -1,0 +1,103 @@
+"""Workstation disk model.
+
+Section 4 of the paper discusses how full disks gate Condor: a remote job
+cannot be *placed* at a station whose disk cannot hold its image, and the
+number of jobs a user can keep in the system is bounded by the local disk
+that stores their checkpoint files.  This model tracks allocations by
+named purpose so experiments can report what the space is used for.
+"""
+
+from repro.sim.errors import SimulationError
+
+
+class DiskFullError(SimulationError):
+    """Raised when an allocation does not fit on the disk."""
+
+    def __init__(self, disk, requested_mb):
+        super().__init__(
+            f"disk {disk.station_name!r}: cannot allocate {requested_mb:.2f} MB "
+            f"({disk.free_mb:.2f} MB free of {disk.capacity_mb:.2f} MB)"
+        )
+        self.requested_mb = requested_mb
+
+
+class Allocation:
+    """A live reservation of disk space; release via :meth:`release`."""
+
+    __slots__ = ("disk", "size_mb", "purpose", "released")
+
+    def __init__(self, disk, size_mb, purpose):
+        self.disk = disk
+        self.size_mb = size_mb
+        self.purpose = purpose
+        self.released = False
+
+    def release(self):
+        """Return the space to the disk.  Idempotent."""
+        if self.released:
+            return
+        self.released = True
+        self.disk._release(self)
+
+    def __repr__(self):
+        state = "released" if self.released else "live"
+        return f"<Allocation {self.size_mb:.2f}MB {self.purpose!r} {state}>"
+
+
+class Disk:
+    """Fixed-capacity disk with purpose-tagged allocations."""
+
+    def __init__(self, capacity_mb, station_name=""):
+        if capacity_mb <= 0:
+            raise SimulationError(f"disk capacity must be > 0, got {capacity_mb}")
+        self.capacity_mb = float(capacity_mb)
+        self.station_name = station_name
+        self.used_mb = 0.0
+        self._allocations = []
+
+    @property
+    def free_mb(self):
+        """Unallocated capacity in MB."""
+        return self.capacity_mb - self.used_mb
+
+    def fits(self, size_mb):
+        """Whether an allocation of ``size_mb`` would currently succeed."""
+        return size_mb <= self.free_mb + 1e-9
+
+    def allocate(self, size_mb, purpose="scratch"):
+        """Reserve ``size_mb``; raises :class:`DiskFullError` if it won't fit."""
+        if size_mb < 0:
+            raise SimulationError(f"negative allocation {size_mb}")
+        if not self.fits(size_mb):
+            raise DiskFullError(self, size_mb)
+        allocation = Allocation(self, float(size_mb), purpose)
+        self.used_mb += allocation.size_mb
+        self._allocations.append(allocation)
+        return allocation
+
+    def usage_by_purpose(self):
+        """Live MB per purpose tag — for disk-pressure reporting."""
+        usage = {}
+        for allocation in self._allocations:
+            usage[allocation.purpose] = (
+                usage.get(allocation.purpose, 0.0) + allocation.size_mb
+            )
+        return usage
+
+    def _release(self, allocation):
+        self._allocations.remove(allocation)
+        self.used_mb -= allocation.size_mb
+        if self.used_mb < -1e-6:
+            # Guard against double-accounting bugs.
+            raise SimulationError(
+                f"disk {self.station_name!r} usage went negative"
+            )
+        if self.used_mb < 0.0:
+            # Floating-point dust from summing many allocation sizes.
+            self.used_mb = 0.0
+
+    def __repr__(self):
+        return (
+            f"<Disk {self.station_name} {self.used_mb:.1f}/"
+            f"{self.capacity_mb:.1f} MB used>"
+        )

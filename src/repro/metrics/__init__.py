@@ -1,0 +1,25 @@
+"""Measurement layer: time series, utilisation, job metrics, reports."""
+
+from repro.metrics import jobs, report, stats
+from repro.metrics.queues import QueueLengthMonitor
+from repro.metrics.timeseries import HourlyAccumulator, PeriodicSampler
+from repro.metrics.stations import (
+    render_station_breakdown,
+    station_breakdown,
+    station_row,
+)
+from repro.metrics.utilization import GROUPS, UtilizationMonitor
+
+__all__ = [
+    "HourlyAccumulator",
+    "PeriodicSampler",
+    "UtilizationMonitor",
+    "QueueLengthMonitor",
+    "GROUPS",
+    "station_breakdown",
+    "station_row",
+    "render_station_breakdown",
+    "stats",
+    "jobs",
+    "report",
+]

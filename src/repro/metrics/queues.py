@@ -1,0 +1,40 @@
+"""Queue-length sampling (Figures 3 and 7).
+
+The paper samples the number of jobs in the system hourly, split into the
+total and the light users' share; "jobs in service are considered part of
+the queue" — :meth:`~repro.core.condor.CondorSystem.queue_length` already
+counts pending + placed jobs.
+"""
+
+from repro.metrics.timeseries import PeriodicSampler
+from repro.sim import HOUR
+
+
+class QueueLengthMonitor:
+    """Hourly total and per-user-class queue-length samplers."""
+
+    def __init__(self, sim, system, light_users, interval=HOUR):
+        self.system = system
+        self.light_users = frozenset(light_users)
+        self.total = PeriodicSampler(
+            sim, system.queue_length, interval, name="queue.total"
+        )
+        self.light = PeriodicSampler(
+            sim, lambda: system.queue_length(users=self.light_users),
+            interval, name="queue.light",
+        )
+
+    def start(self):
+        self.total.start()
+        self.light.start()
+
+    def heavy_values(self):
+        """The heavy user's queue share: total minus light users."""
+        return [t - l for t, l in zip(self.total.values(),
+                                      self.light.values())]
+
+    def __repr__(self):
+        return (
+            f"<QueueLengthMonitor samples={len(self.total.samples)} "
+            f"light_users={sorted(self.light_users)}>"
+        )

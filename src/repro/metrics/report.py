@@ -1,0 +1,72 @@
+"""Plain-text rendering of tables and paper-vs-measured comparisons.
+
+Every benchmark prints through these helpers so EXPERIMENTS.md and the
+bench output share one format.
+"""
+
+
+def format_cell(value):
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(headers, rows, title=None):
+    """Render an aligned ASCII table; rows are sequences of cells."""
+    cells = [[format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_comparison(entries, title=None):
+    """Render (label, paper value, measured value) rows with a ratio.
+
+    ``paper`` may be ``None`` for measured-only rows.  The point is the
+    *shape* check the reproduction targets: who wins and by what factor.
+    """
+    rows = []
+    for label, paper, measured in entries:
+        if paper in (None, 0) or measured is None:
+            ratio = None
+        else:
+            ratio = measured / paper
+        rows.append((label, paper, measured, ratio))
+    return render_table(
+        ["metric", "paper", "measured", "measured/paper"], rows, title=title
+    )
+
+
+def render_series(xs, ys, x_label="x", y_label="y", title=None, width=50):
+    """Render a series as an aligned two-column list with a bar sparkline."""
+    peak = max((y for y in ys if y is not None), default=0.0)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{x_label:>10}  {y_label:>12}")
+    for x, y in zip(xs, ys):
+        if y is None:
+            lines.append(f"{format_cell(x):>10}  {'-':>12}")
+            continue
+        bar = ""
+        if peak > 0:
+            bar = "#" * max(0, int(round(width * y / peak)))
+        lines.append(f"{format_cell(x):>10}  {format_cell(y):>12}  {bar}")
+    return "\n".join(lines)

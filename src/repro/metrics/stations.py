@@ -1,0 +1,78 @@
+"""Per-station accounting breakdown — where every CPU hour went.
+
+The paper reports cluster-level aggregates; operators of a real pool want
+the same accounting per machine (who donates, who consumes, what the
+daemons cost).  ``station_breakdown`` turns the ledgers into report rows;
+the CLI's ``stations`` subcommand prints them.
+"""
+
+from repro.machine.accounting import (
+    CHECKPOINT,
+    COORDINATOR,
+    LOCAL_JOB,
+    OWNER,
+    PLACEMENT,
+    REMOTE_JOB,
+    SCHEDULER,
+    SYSCALL,
+)
+from repro.metrics.report import render_table
+from repro.sim import HOUR
+
+
+def station_row(station, horizon_seconds):
+    """One station's accounting as a dict of hours and fractions."""
+    totals = station.ledger.totals
+    capacity_hours = horizon_seconds / HOUR
+    owner_hours = totals[OWNER] / HOUR
+    donated_hours = totals[REMOTE_JOB] / HOUR
+    support_hours = (totals[PLACEMENT] + totals[CHECKPOINT]
+                     + totals[SYSCALL]) / HOUR
+    daemon_hours = (totals[SCHEDULER] + totals[COORDINATOR]) / HOUR
+    return {
+        "name": station.name,
+        "arch": station.arch,
+        "owner_hours": owner_hours,
+        "owner_fraction": owner_hours / capacity_hours,
+        "donated_hours": donated_hours,
+        "local_job_hours": totals[LOCAL_JOB] / HOUR,
+        "support_hours": support_hours,
+        "daemon_hours": daemon_hours,
+        "idle_hours": max(
+            0.0, capacity_hours - owner_hours - donated_hours
+            - totals[LOCAL_JOB] / HOUR
+        ),
+    }
+
+
+def station_breakdown(stations, horizon_seconds):
+    """Rows for every station, sorted by donated hours descending."""
+    rows = [station_row(station, horizon_seconds) for station in stations]
+    rows.sort(key=lambda row: -row["donated_hours"])
+    return rows
+
+
+def render_station_breakdown(stations, horizon_seconds, title=None):
+    """ASCII table of the breakdown (the CLI's ``stations`` output)."""
+    rows = station_breakdown(stations, horizon_seconds)
+    table_rows = [
+        (row["name"], row["arch"], row["owner_hours"],
+         f"{100 * row['owner_fraction']:.0f}%", row["donated_hours"],
+         row["support_hours"], row["daemon_hours"], row["idle_hours"])
+        for row in rows
+    ]
+    totals = (
+        "TOTAL", "-",
+        sum(r["owner_hours"] for r in rows),
+        "-",
+        sum(r["donated_hours"] for r in rows),
+        sum(r["support_hours"] for r in rows),
+        sum(r["daemon_hours"] for r in rows),
+        sum(r["idle_hours"] for r in rows),
+    )
+    return render_table(
+        ["station", "arch", "owner h", "owner %", "donated h",
+         "support h", "daemon h", "idle h"],
+        table_rows + [totals],
+        title=title or "Per-station capacity accounting",
+    )

@@ -1,0 +1,98 @@
+"""Time-series collection: hourly accumulators and periodic samplers.
+
+The paper's Figures 3, 5, 6 and 7 are hourly series over the observed
+month.  Two collection styles cover everything:
+
+* :class:`HourlyAccumulator` — integrate weighted busy-time intervals
+  into hour buckets (utilisation curves);
+* :class:`PeriodicSampler` — evaluate a probe function on a fixed cadence
+  (queue-length curves).
+"""
+
+import math
+
+from repro.sim import HOUR
+from repro.sim.errors import SimulationError
+
+
+class HourlyAccumulator:
+    """Accumulates weighted seconds into hour-of-simulation buckets."""
+
+    def __init__(self):
+        self._buckets = {}
+
+    def add_interval(self, t0, t1, weight=1.0):
+        """Add ``weight`` busy-seconds-per-second over ``[t0, t1]``,
+        split across the hour buckets the interval overlaps."""
+        if t1 < t0:
+            raise SimulationError(f"inverted interval [{t0}, {t1}]")
+        if weight == 0.0 or t1 == t0:
+            return
+        first = int(math.floor(t0 / HOUR))
+        last = int(math.floor((t1 - 1e-12) / HOUR))
+        for hour in range(first, last + 1):
+            lo = max(t0, hour * HOUR)
+            hi = min(t1, (hour + 1) * HOUR)
+            if hi > lo:
+                self._buckets[hour] = (
+                    self._buckets.get(hour, 0.0) + (hi - lo) * weight
+                )
+
+    def value(self, hour):
+        """Accumulated seconds in bucket ``hour``."""
+        return self._buckets.get(hour, 0.0)
+
+    def series(self, n_hours, start_hour=0):
+        """Dense list of bucket values for ``n_hours`` buckets."""
+        return [self.value(start_hour + h) for h in range(n_hours)]
+
+    def total(self):
+        """Sum over all buckets (total busy seconds)."""
+        return sum(self._buckets.values())
+
+    def __repr__(self):
+        return f"<HourlyAccumulator buckets={len(self._buckets)}>"
+
+
+class PeriodicSampler:
+    """Samples ``probe()`` every ``interval`` simulated seconds.
+
+    ``start()`` spawns the sampling process; samples accumulate as
+    ``(time, value)`` pairs.  The first sample is taken one interval in
+    (time 0 is rarely interesting and often not yet initialised).
+    """
+
+    def __init__(self, sim, probe, interval=HOUR, name="sampler"):
+        if interval <= 0:
+            raise SimulationError(f"sampler interval must be > 0: {interval}")
+        self.sim = sim
+        self.probe = probe
+        self.interval = interval
+        self.name = name
+        self.samples = []
+        self._started = False
+
+    def start(self):
+        if self._started:
+            return
+        self._started = True
+        self.sim.spawn(self._run(), name=self.name)
+
+    def _run(self):
+        while True:
+            yield self.interval
+            self.samples.append((self.sim.now, self.probe()))
+
+    def values(self):
+        """Just the sampled values, in time order."""
+        return [value for _t, value in self.samples]
+
+    def times(self):
+        return [t for t, _value in self.samples]
+
+    def window(self, t0, t1):
+        """Samples with ``t0 <= time < t1`` (e.g. one week of a month)."""
+        return [(t, v) for t, v in self.samples if t0 <= t < t1]
+
+    def __repr__(self):
+        return f"<PeriodicSampler {self.name} n={len(self.samples)}>"

@@ -1,0 +1,10 @@
+"""Departmental LAN model: nodes, messages, RPCs, bulk transfers."""
+
+from repro.net.network import (
+    DEFAULT_BANDWIDTH_MB_S,
+    DEFAULT_LATENCY,
+    Network,
+    Node,
+)
+
+__all__ = ["Network", "Node", "DEFAULT_LATENCY", "DEFAULT_BANDWIDTH_MB_S"]

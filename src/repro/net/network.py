@@ -1,0 +1,207 @@
+"""LAN model connecting the Condor daemons.
+
+The paper's cluster hangs off one departmental Ethernet.  Three traffic
+classes matter to the reproduction:
+
+* small control messages (coordinator polls, allocation grants) — latency
+  only;
+* request/response RPCs with timeouts — the coordinator must survive a
+  station that went down (§2.1: "local schedulers are not affected if a
+  remote site discontinues service");
+* bulk checkpoint/placement transfers — serialized per endpoint, because
+  the implementation deliberately places "a single job remotely every two
+  minutes" to avoid saturating a machine (§4).
+
+Nodes register named handlers; the network routes by node name so tests
+can swap real daemons for probes.
+"""
+
+from repro.sim import Signal
+from repro.sim.errors import SimulationError
+
+#: One-way latency for a small control message on the departmental LAN.
+DEFAULT_LATENCY = 0.005
+#: Effective bulk-transfer bandwidth (MB/s).  10 Mbit Ethernet minus
+#: protocol overhead; the paper's 5 s/MB checkpoint figure includes the
+#: CPU cost, which is charged separately by the RU facility model.
+DEFAULT_BANDWIDTH_MB_S = 1.0
+
+
+class Node:
+    """A network endpoint with named message handlers.
+
+    Daemons (local schedulers, the coordinator) subclass or embed a Node.
+    A crashed node neither receives messages nor answers RPCs.
+    """
+
+    def __init__(self, name):
+        self.name = name
+        self.crashed = False
+        self._handlers = {}
+
+    def register_handler(self, op, handler):
+        """Register ``handler(payload) -> response`` for operation ``op``."""
+        if op in self._handlers:
+            raise SimulationError(f"node {self.name}: handler for {op!r} exists")
+        self._handlers[op] = handler
+
+    def handle(self, op, payload):
+        """Dispatch an incoming message (called by the network)."""
+        if op not in self._handlers:
+            raise SimulationError(f"node {self.name}: no handler for {op!r}")
+        return self._handlers[op](payload)
+
+    def __repr__(self):
+        state = "crashed" if self.crashed else "up"
+        return f"<Node {self.name} {state}>"
+
+
+class Network:
+    """Departmental LAN: routing, latency, loss, and bulk transfers."""
+
+    def __init__(self, sim, latency=DEFAULT_LATENCY,
+                 bandwidth_mb_s=DEFAULT_BANDWIDTH_MB_S,
+                 loss_probability=0.0, loss_stream=None,
+                 latency_jitter=0.0, jitter_stream=None):
+        if latency < 0 or bandwidth_mb_s <= 0:
+            raise SimulationError(
+                f"bad Network(latency={latency}, bandwidth={bandwidth_mb_s})"
+            )
+        if loss_probability and loss_stream is None:
+            raise SimulationError("loss_probability needs a loss_stream")
+        if latency_jitter < 0:
+            raise SimulationError(f"negative jitter {latency_jitter}")
+        if latency_jitter and jitter_stream is None:
+            raise SimulationError("latency_jitter needs a jitter_stream")
+        self.sim = sim
+        self.latency = float(latency)
+        self.latency_jitter = float(latency_jitter)
+        self.jitter_stream = jitter_stream
+        self.bandwidth_mb_s = float(bandwidth_mb_s)
+        self.loss_probability = float(loss_probability)
+        self.loss_stream = loss_stream
+        self._nodes = {}
+        # Per-endpoint serialization point for bulk transfers.
+        self._nic_free_at = {}
+        #: Counters for traffic reports.
+        self.messages_sent = 0
+        self.messages_dropped = 0
+        self.bytes_transferred_mb = 0.0
+
+    def attach(self, node):
+        """Register a node; its name becomes its address."""
+        if node.name in self._nodes:
+            raise SimulationError(f"duplicate node name {node.name!r}")
+        self._nodes[node.name] = node
+
+    def node(self, name):
+        """Look up an attached node by name."""
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise SimulationError(f"unknown node {name!r}") from None
+
+    def _lost(self):
+        return (
+            self.loss_probability > 0.0
+            and self.loss_stream.random() < self.loss_probability
+        )
+
+    def _delay(self):
+        """One-way message delay: base latency plus optional jitter.
+
+        Jitter makes delivery order between a pair of nodes
+        non-deterministic — the condition the daemons' protocols must
+        tolerate (chaos tests exercise this).
+        """
+        if self.latency_jitter:
+            return self.latency + self.jitter_stream.uniform(
+                0.0, self.latency_jitter)
+        return self.latency
+
+    def message(self, dst_name, op, payload=None):
+        """Fire-and-forget control message; delivered after one latency.
+
+        Silently dropped if the destination is crashed or the (optional)
+        loss process eats it — exactly the failure the poll timeout covers.
+        """
+        self.messages_sent += 1
+        if self._lost():
+            self.messages_dropped += 1
+            return
+        dst = self.node(dst_name)
+
+        def deliver():
+            if not dst.crashed:
+                dst.handle(op, payload)
+
+        self.sim.schedule(self._delay(), deliver)
+
+    def rpc(self, dst_name, op, payload=None, timeout=1.0):
+        """Request/response with timeout.
+
+        Returns a :class:`Signal` fired with ``("ok", response)`` or
+        ``("timeout", None)``.  A crashed destination, or a lost request
+        or reply, surfaces as a timeout — callers never hang.
+        """
+        result = Signal(name=f"rpc:{dst_name}:{op}")
+        dst = self.node(dst_name)
+        state = {"settled": False}
+
+        def settle(outcome):
+            if not state["settled"]:
+                state["settled"] = True
+                result.fire(outcome)
+
+        self.messages_sent += 1
+        request_lost = self._lost()
+        if request_lost:
+            self.messages_dropped += 1
+
+        def deliver_request():
+            if dst.crashed or request_lost:
+                return
+            response = dst.handle(op, payload)
+            self.messages_sent += 1
+            if self._lost():
+                self.messages_dropped += 1
+                return
+            self.sim.schedule(self._delay(), settle, ("ok", response))
+
+        self.sim.schedule(self._delay(), deliver_request)
+        self.sim.schedule(timeout, settle, ("timeout", None))
+        return result
+
+    def transfer(self, src_name, dst_name, size_mb):
+        """Bulk transfer (placement image, checkpoint file).
+
+        Returns a :class:`Signal` fired with the completion time.  The
+        transfer starts once both endpoints' NICs are free and holds them
+        for ``size_mb / bandwidth`` seconds — modelling why simultaneous
+        placements degrade a machine (§4).
+        """
+        if size_mb < 0:
+            raise SimulationError(f"negative transfer size {size_mb}")
+        done = Signal(name=f"xfer:{src_name}->{dst_name}")
+        start = max(
+            self.sim.now,
+            self._nic_free_at.get(src_name, 0.0),
+            self._nic_free_at.get(dst_name, 0.0),
+        )
+        duration = self.latency + size_mb / self.bandwidth_mb_s
+        finish = start + duration
+        self._nic_free_at[src_name] = finish
+        self._nic_free_at[dst_name] = finish
+        self.bytes_transferred_mb += size_mb
+        self.sim.schedule_at(finish, done.fire, finish)
+        return done
+
+    def nic_busy_until(self, name):
+        """When the named endpoint's NIC frees up (for tests/diagnostics)."""
+        return max(self._nic_free_at.get(name, 0.0), self.sim.now)
+
+    def __repr__(self):
+        return (
+            f"<Network nodes={len(self._nodes)} sent={self.messages_sent} "
+            f"dropped={self.messages_dropped}>"
+        )

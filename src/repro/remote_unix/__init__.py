@@ -1,0 +1,31 @@
+"""The Remote Unix (RU) facility model: segments, checkpoints, shadows."""
+
+from repro.remote_unix.checkpoint import (
+    CHECKPOINT_CPU_S_PER_MB,
+    CheckpointImage,
+    CheckpointStore,
+    checkpoint_cpu_cost,
+)
+from repro.remote_unix.segments import KB_PER_MB, SegmentLayout, typical_layout
+from repro.remote_unix.shadow import (
+    LOCAL_SYSCALL_CPU_S,
+    REMOTE_SYSCALL_CPU_S,
+    ShadowProcess,
+    breakeven_syscall_rate,
+    remote_syscall_load,
+)
+
+__all__ = [
+    "SegmentLayout",
+    "typical_layout",
+    "KB_PER_MB",
+    "CheckpointImage",
+    "CheckpointStore",
+    "checkpoint_cpu_cost",
+    "CHECKPOINT_CPU_S_PER_MB",
+    "ShadowProcess",
+    "remote_syscall_load",
+    "breakeven_syscall_rate",
+    "REMOTE_SYSCALL_CPU_S",
+    "LOCAL_SYSCALL_CPU_S",
+]

@@ -1,0 +1,98 @@
+"""Checkpoint images and their costs.
+
+A checkpoint freezes a job's progress so execution can resume "at any
+time, and on any machine in the system" (§2.3).  The reproduction models
+an image as (job id, CPU progress, size); the paper's measured cost is
+5 seconds of home-station CPU per megabyte, with an average image of
+0.5 MB — hence the headline 2.5 s average placement/checkpoint cost.
+"""
+
+from repro.sim.errors import SimulationError
+
+#: Local CPU cost of writing or placing a checkpoint (seconds per MB), §3.1.
+CHECKPOINT_CPU_S_PER_MB = 5.0
+
+
+def checkpoint_cpu_cost(size_mb):
+    """Home-station CPU seconds to place or checkpoint an image of size_mb."""
+    if size_mb < 0:
+        raise SimulationError(f"negative image size {size_mb}")
+    return CHECKPOINT_CPU_S_PER_MB * size_mb
+
+
+class CheckpointImage:
+    """A frozen execution state: resume point plus image bytes.
+
+    ``cpu_progress`` is the seconds of the job's service demand completed
+    at freeze time; restarting from this image repeats no finished work.
+    ``sequence`` counts images taken for the job (diagnostics).
+    """
+
+    __slots__ = ("job_id", "cpu_progress", "size_mb", "taken_at", "sequence")
+
+    def __init__(self, job_id, cpu_progress, size_mb, taken_at, sequence):
+        if cpu_progress < 0 or size_mb < 0:
+            raise SimulationError(
+                f"bad checkpoint (progress={cpu_progress}, size={size_mb})"
+            )
+        self.job_id = job_id
+        self.cpu_progress = float(cpu_progress)
+        self.size_mb = float(size_mb)
+        self.taken_at = float(taken_at)
+        self.sequence = int(sequence)
+
+    def __repr__(self):
+        return (
+            f"<CheckpointImage job={self.job_id} #{self.sequence} "
+            f"progress={self.cpu_progress:.0f}s size={self.size_mb:.2f}MB>"
+        )
+
+
+class CheckpointStore:
+    """Checkpoint files held on a (home) station's disk.
+
+    Keeps exactly one image per job — a new checkpoint supersedes the old
+    one, releasing its disk space — matching the paper's one-file-per-job
+    description and its §4 complaint that these files limit how many jobs
+    a user with a small disk can keep in the system.
+    """
+
+    def __init__(self, disk):
+        self.disk = disk
+        self._images = {}
+        self._allocations = {}
+        #: Total images ever stored (diagnostics).
+        self.images_stored = 0
+
+    def can_store(self, job_id, size_mb):
+        """Whether a new image of ``size_mb`` for ``job_id`` would fit."""
+        current = self._allocations.get(job_id)
+        headroom = self.disk.free_mb + (current.size_mb if current else 0.0)
+        return size_mb <= headroom + 1e-9
+
+    def store(self, image):
+        """Store an image, superseding any previous image for the job."""
+        previous = self._allocations.pop(image.job_id, None)
+        if previous is not None:
+            previous.release()
+        allocation = self.disk.allocate(image.size_mb, purpose="checkpoint")
+        self._images[image.job_id] = image
+        self._allocations[image.job_id] = allocation
+        self.images_stored += 1
+
+    def fetch(self, job_id):
+        """The current image for ``job_id``, or ``None``."""
+        return self._images.get(job_id)
+
+    def discard(self, job_id):
+        """Drop the job's image (job finished or was removed)."""
+        self._images.pop(job_id, None)
+        allocation = self._allocations.pop(job_id, None)
+        if allocation is not None:
+            allocation.release()
+
+    def __len__(self):
+        return len(self._images)
+
+    def __repr__(self):
+        return f"<CheckpointStore {len(self._images)} images on {self.disk!r}>"

@@ -1,0 +1,84 @@
+"""Shadow processes and remote system-call accounting.
+
+When a job runs remotely, a *shadow* process on its home station services
+its Unix system calls: the remote library ships each call over the LAN
+and the shadow executes it locally (§2.2).  The measured costs (§3.1):
+
+* a remote system call costs ≈10 ms of home-station CPU,
+* the same call executed locally costs 1/20 of that (0.5 ms).
+
+Jobs carry a ``syscall_rate`` (calls per CPU-second); the shadow converts
+executed CPU time into home-station SYSCALL load.  This is the third leg
+of the leverage denominator, and the reason I/O-heavy jobs are better run
+locally (a leverage below 1 is possible and the paper calls it out).
+"""
+
+from repro.machine.accounting import SYSCALL
+from repro.sim.errors import SimulationError
+
+#: Home-station CPU per remote system call (seconds), §3.1.
+REMOTE_SYSCALL_CPU_S = 0.010
+#: CPU per locally executed system call — 1/20 of the remote cost.
+LOCAL_SYSCALL_CPU_S = REMOTE_SYSCALL_CPU_S / 20.0
+
+
+def remote_syscall_load(syscall_rate):
+    """Fraction of a home CPU consumed while the job runs remotely."""
+    if syscall_rate < 0:
+        raise SimulationError(f"negative syscall rate {syscall_rate}")
+    return min(1.0, syscall_rate * REMOTE_SYSCALL_CPU_S)
+
+
+def breakeven_syscall_rate():
+    """Syscall rate at which leverage from syscalls alone drops to 1.
+
+    Above ~100 calls per CPU-second the home station burns more CPU
+    servicing calls than the remote site delivers (10 ms x 100 = 1 s of
+    support per remote second).
+    """
+    return 1.0 / REMOTE_SYSCALL_CPU_S
+
+
+class ShadowProcess:
+    """Home-side surrogate of one remotely executing job.
+
+    The local scheduler creates a shadow when the job is placed and
+    retires it when the job finishes or is withdrawn.  ``record_execution``
+    books the syscall support cost for a slice of remote execution onto
+    the home ledger and returns the seconds charged (which the metrics
+    layer adds to the job's leverage denominator).
+    """
+
+    def __init__(self, job_id, syscall_rate, home_ledger):
+        self.job_id = job_id
+        self.syscall_rate = float(syscall_rate)
+        self.home_ledger = home_ledger
+        self.load = remote_syscall_load(syscall_rate)
+        #: Total home CPU seconds spent servicing this job's calls.
+        self.support_seconds = 0.0
+        #: Total remote CPU seconds this shadow has witnessed.
+        self.remote_seconds = 0.0
+        self.retired = False
+
+    def record_execution(self, t0, t1):
+        """Book syscall support for remote execution over ``[t0, t1]``."""
+        if self.retired:
+            raise SimulationError(f"shadow for {self.job_id} already retired")
+        if t1 < t0:
+            raise SimulationError(f"inverted execution slice [{t0}, {t1}]")
+        self.home_ledger.add_load(SYSCALL, t0, t1, self.load)
+        charged = (t1 - t0) * self.load
+        self.support_seconds += charged
+        self.remote_seconds += t1 - t0
+        return charged
+
+    def retire(self):
+        """The job left remote execution; the shadow exits."""
+        self.retired = True
+
+    def __repr__(self):
+        state = "retired" if self.retired else "active"
+        return (
+            f"<Shadow job={self.job_id} rate={self.syscall_rate}/s "
+            f"support={self.support_seconds:.2f}s {state}>"
+        )

@@ -1,0 +1,40 @@
+"""Live mini-Condor: real threads, real pickle checkpoints, one machine.
+
+The documented substitution for the paper's transparent 4.3BSD process
+checkpointing (see DESIGN.md): jobs checkpoint cooperatively at safe
+points with identical recovery semantics — at most the work since the
+last checkpoint is repeated when a worker's owner reclaims it.
+"""
+
+from repro.runtime.checkpoint import (
+    InMemoryCheckpointStore,
+    LiveCheckpointStore,
+)
+from repro.runtime.cluster import LiveCluster
+from repro.runtime.errors import JobFailed, LiveRuntimeError, VacateRequested
+from repro.runtime.job import (
+    COMPLETED,
+    FAILED,
+    PENDING,
+    RUNNING,
+    CheckpointContext,
+    LiveJob,
+)
+from repro.runtime.worker import LiveWorker, SyntheticOwner
+
+__all__ = [
+    "LiveCluster",
+    "LiveWorker",
+    "SyntheticOwner",
+    "LiveJob",
+    "CheckpointContext",
+    "LiveCheckpointStore",
+    "InMemoryCheckpointStore",
+    "LiveRuntimeError",
+    "VacateRequested",
+    "JobFailed",
+    "PENDING",
+    "RUNNING",
+    "COMPLETED",
+    "FAILED",
+]

@@ -1,0 +1,176 @@
+"""The live cluster: coordinator thread + workers + job queue.
+
+A faithful, working miniature of the paper's structure on one machine:
+
+* each :class:`LiveWorker` is a "workstation" whose owner can reclaim it;
+* a coordinator thread polls on a short interval, matching pending jobs
+  to available workers — one placement per cycle, like the deployed
+  system's two-minute throttle;
+* fairness across submitting users uses the same
+  :class:`~repro.core.updown.UpDownPolicy` the simulator uses (the
+  policy is pure bookkeeping, so it is shared verbatim).
+
+Vacated jobs resume from their last pickle checkpoint on another worker;
+nothing is ever restarted from scratch.
+"""
+
+import threading
+import time
+
+from repro.core.updown import UpDownPolicy
+from repro.runtime.checkpoint import InMemoryCheckpointStore
+from repro.runtime.errors import LiveRuntimeError
+from repro.runtime.job import LiveJob
+from repro.runtime.worker import LiveWorker
+
+
+class LiveCluster:
+    """A running pool of live workers under one coordinator."""
+
+    def __init__(self, worker_names, store=None, poll_interval=0.02,
+                 placements_per_cycle=1, policy=None):
+        if not worker_names:
+            raise LiveRuntimeError("need at least one worker")
+        if poll_interval <= 0:
+            raise LiveRuntimeError("poll_interval must be > 0")
+        self.store = store or InMemoryCheckpointStore()
+        self.workers = {name: LiveWorker(name, self.store)
+                        for name in worker_names}
+        self.poll_interval = poll_interval
+        self.placements_per_cycle = placements_per_cycle
+        self.policy = policy or UpDownPolicy()
+        self._queue = []
+        self._jobs = []
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._wake = threading.Event()
+        self._thread = None
+        self._last_update = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def start(self):
+        """Start the coordinator thread.  Idempotent."""
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._coordinate, name="live-coordinator", daemon=True
+        )
+        self._thread.start()
+
+    def shutdown(self):
+        """Stop the coordinator (running jobs finish their current work)."""
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._wake.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+
+    def __enter__(self):
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info):
+        self.shutdown()
+        return False
+
+    # ------------------------------------------------------------------
+    # submission
+
+    def submit(self, fn, name=None, owner="anonymous"):
+        """Queue a checkpointable job function; returns the LiveJob."""
+        job = LiveJob(fn, name=name, owner=owner)
+        with self._lock:
+            self._queue.append(job)
+            self._jobs.append(job)
+        self.policy.register_station(owner)
+        self._wake.set()
+        return job
+
+    def wait_all(self, timeout=None):
+        """Block until every submitted job finished; returns success."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for job in list(self._jobs):
+            remaining = (None if deadline is None
+                         else max(0.0, deadline - time.monotonic()))
+            if not job.wait(remaining):
+                return False
+        return True
+
+    @property
+    def jobs(self):
+        return list(self._jobs)
+
+    def queue_length(self):
+        with self._lock:
+            pending = len(self._queue)
+        running = sum(1 for w in self.workers.values() if w.busy)
+        return pending + running
+
+    # ------------------------------------------------------------------
+    # coordinator loop
+
+    def _coordinate(self):
+        while not self._stop.is_set():
+            self._wake.wait(self.poll_interval)
+            self._wake.clear()
+            if self._stop.is_set():
+                return
+            self._cycle()
+
+    def _cycle(self):
+        now = time.monotonic()
+        dt = (now - self._last_update) if self._last_update else 0.0
+        self._last_update = now
+
+        with self._lock:
+            wanting_owners = {job.owner for job in self._queue}
+        holding = {}
+        for worker in self.workers.values():
+            current = worker.current_job()
+            if current is not None:
+                holding[current.owner] = holding.get(current.owner, 0) + 1
+        self.policy.update(wanting_owners, holding, dt)
+
+        available = [w for w in self.workers.values() if w.available]
+        placements = 0
+        progress = True
+        while (placements < self.placements_per_cycle and available
+               and progress):
+            progress = False
+            for owner in self.policy.rank_requesters(wanting_owners):
+                if placements >= self.placements_per_cycle or not available:
+                    break
+                job = self._pop_job_of(owner)
+                if job is None:
+                    continue
+                worker = available.pop(0)
+                if not worker.start_job(job, self._job_exited):
+                    with self._lock:
+                        self._queue.insert(0, job)
+                else:
+                    placements += 1
+                    progress = True
+
+    def _pop_job_of(self, owner):
+        with self._lock:
+            for i, job in enumerate(self._queue):
+                if job.owner == owner:
+                    return self._queue.pop(i)
+        return None
+
+    def _job_exited(self, job, outcome):
+        if outcome == "vacated":
+            with self._lock:
+                self._queue.append(job)
+        self._wake.set()
+
+    def __repr__(self):
+        busy = sum(1 for w in self.workers.values() if w.busy)
+        return (
+            f"<LiveCluster workers={len(self.workers)} busy={busy} "
+            f"queued={self.queue_length()}>"
+        )

@@ -1,0 +1,16 @@
+"""Error types of the live (localhost) runtime."""
+
+
+class LiveRuntimeError(Exception):
+    """Base class for live-runtime errors."""
+
+
+class VacateRequested(LiveRuntimeError):
+    """Raised inside a job function (by ``ctx.checkpoint``) when the
+    worker wants the job gone.  Job code should not catch this — the
+    worker catches it, preserves the freshly saved state, and requeues
+    the job to resume elsewhere."""
+
+
+class JobFailed(LiveRuntimeError):
+    """A job function raised an exception; it is recorded on the job."""

@@ -1,0 +1,147 @@
+"""Live worker stations: one thread of real execution per workstation.
+
+A worker mirrors the paper's hosting workstation: it runs at most one
+foreign job, and the moment its "owner" returns it asks the job to leave
+at the next safe point, preserving the checkpoint.  Owner presence is a
+flag toggled either by the application (tests, demos) or by a
+:class:`SyntheticOwner` background thread.
+"""
+
+import threading
+import time
+
+from repro.runtime import job as livejob
+from repro.runtime.errors import LiveRuntimeError, VacateRequested
+from repro.runtime.job import CheckpointContext
+
+
+class LiveWorker:
+    """One workstation of the live cluster."""
+
+    def __init__(self, name, store):
+        self.name = name
+        self.store = store
+        self._owner_active = threading.Event()
+        self._lock = threading.Lock()
+        self._current = None        # (job, context, thread)
+        #: Completed-here counter (diagnostics).
+        self.jobs_completed = 0
+        self.jobs_vacated = 0
+
+    # ------------------------------------------------------------------
+    # owner control
+
+    @property
+    def owner_active(self):
+        return self._owner_active.is_set()
+
+    def owner_arrived(self):
+        """The owner is back: evict any running job at its next safe point."""
+        self._owner_active.set()
+        with self._lock:
+            if self._current is not None:
+                self._current[1].request_vacate()
+
+    def owner_departed(self):
+        self._owner_active.clear()
+
+    # ------------------------------------------------------------------
+    # hosting
+
+    @property
+    def busy(self):
+        with self._lock:
+            return self._current is not None
+
+    @property
+    def available(self):
+        return not self.owner_active and not self.busy
+
+    def start_job(self, job, on_exit):
+        """Begin executing ``job`` on this worker's thread.
+
+        ``on_exit(job, outcome)`` is called from the worker thread when
+        the job leaves: outcome is ``"completed"``, ``"vacated"`` or
+        ``"failed"``.  Returns False if the worker cannot take the job.
+        """
+        with self._lock:
+            if self._current is not None or self.owner_active:
+                return False
+            context = CheckpointContext(job, self.store.save)
+            thread = threading.Thread(
+                target=self._run, args=(job, context, on_exit),
+                name=f"{self.name}:{job.name}", daemon=True,
+            )
+            self._current = (job, context, thread)
+        job.status = livejob.RUNNING
+        job.placements.append(self.name)
+        thread.start()
+        return True
+
+    def _run(self, job, context, on_exit):
+        state = self.store.load(job)
+        try:
+            result = job.fn(context, state)
+        except VacateRequested:
+            self._clear()
+            self.jobs_vacated += 1
+            job.vacated_count += 1
+            job.status = livejob.PENDING
+            on_exit(job, "vacated")
+            return
+        except Exception as exc:  # the job's own bug: record, don't hide
+            self._clear()
+            job._fail(exc)
+            on_exit(job, "failed")
+            return
+        self._clear()
+        self.jobs_completed += 1
+        self.store.discard(job)
+        job._complete(result)
+        on_exit(job, "completed")
+
+    def _clear(self):
+        with self._lock:
+            self._current = None
+
+    def current_job(self):
+        with self._lock:
+            return self._current[0] if self._current else None
+
+    def __repr__(self):
+        state = "owner" if self.owner_active else (
+            "busy" if self.busy else "idle")
+        return f"<LiveWorker {self.name} {state}>"
+
+
+class SyntheticOwner(threading.Thread):
+    """Background thread toggling a worker's owner flag on a schedule.
+
+    ``schedule`` is an iterable of ``(away_seconds, active_seconds)``
+    pairs (real seconds — keep them small in tests).  Stops when the
+    schedule is exhausted or :meth:`stop` is called.
+    """
+
+    def __init__(self, worker, schedule):
+        super().__init__(name=f"owner:{worker.name}", daemon=True)
+        self.worker = worker
+        self.schedule = list(schedule)
+        if any(away < 0 or active < 0 for away, active in self.schedule):
+            raise LiveRuntimeError("owner schedule entries must be >= 0")
+        # Note: not named _stop — threading.Thread uses that internally.
+        self._halt = threading.Event()
+
+    def run(self):
+        for away, active in self.schedule:
+            if self._halt.wait(away):
+                break
+            self.worker.owner_arrived()
+            if self._halt.wait(active):
+                self.worker.owner_departed()
+                break
+            self.worker.owner_departed()
+
+    def stop(self):
+        self._halt.set()
+        if self.worker.owner_active:
+            self.worker.owner_departed()

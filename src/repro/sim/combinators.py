@@ -1,0 +1,57 @@
+"""Signal combinators: wait for all, or any, of several conditions.
+
+Schedulers routinely fan out (poll every station, place every gang
+member) and then need a single waitable rendezvous.  ``all_of`` and
+``any_of`` build one-shot signals over collections of signals.
+"""
+
+from repro.sim.events import Signal
+
+
+def all_of(signals, name="all_of"):
+    """A signal firing when *every* input has fired.
+
+    Fires with a list of the input values, in input order.  With no
+    inputs it fires immediately (vacuous truth) with ``[]``.
+    """
+    signals = list(signals)
+    result = Signal(name=name)
+    remaining = {"count": len(signals)}
+    values = [None] * len(signals)
+    if not signals:
+        result.fire([])
+        return result
+
+    def waiter(index):
+        def on_fire(value):
+            values[index] = value
+            remaining["count"] -= 1
+            if remaining["count"] == 0:
+                result.fire(values)
+        return on_fire
+
+    for index, signal in enumerate(signals):
+        signal.add_waiter(waiter(index))
+    return result
+
+
+def any_of(signals, name="any_of"):
+    """A signal firing when the *first* input fires.
+
+    Fires with ``(index, value)`` of the winner; later inputs are
+    ignored.  With no inputs it never fires.
+    """
+    signals = list(signals)
+    result = Signal(name=name)
+    done = {"fired": False}
+
+    def waiter(index):
+        def on_fire(value):
+            if not done["fired"]:
+                done["fired"] = True
+                result.fire((index, value))
+        return on_fire
+
+    for index, signal in enumerate(signals):
+        signal.add_waiter(waiter(index))
+    return result

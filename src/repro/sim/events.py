@@ -1,0 +1,125 @@
+"""Scheduled-event handles and waitable signals.
+
+Two primitives underpin the kernel:
+
+* :class:`EventHandle` — a cancellable callback scheduled at an absolute
+  simulation time.  Cancellation is O(1): the handle is flagged dead and the
+  kernel skips it when it surfaces in the heap.
+* :class:`Signal` — a one-shot waitable condition that simulated processes
+  can block on (``value = yield signal``).  Firing a signal wakes every
+  waiter at the current simulation time.
+"""
+
+from repro.sim.errors import SignalAlreadyFired
+
+#: Ordering of event states; PENDING events are live, everything else inert.
+PENDING = "pending"
+FIRED = "fired"
+CANCELLED = "cancelled"
+
+
+class EventHandle:
+    """A cancellable callback scheduled at an absolute simulation time.
+
+    Instances are created by :meth:`repro.sim.kernel.Simulation.schedule`;
+    user code only ever cancels or inspects them.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "state")
+
+    def __init__(self, time, seq, callback, args):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.state = PENDING
+
+    def cancel(self):
+        """Prevent the callback from running.  Idempotent.
+
+        Returns ``True`` if the event was still pending (and is now
+        cancelled), ``False`` if it had already fired or been cancelled.
+        """
+        if self.state is not PENDING:
+            return False
+        self.state = CANCELLED
+        self.callback = None
+        self.args = None
+        return True
+
+    @property
+    def pending(self):
+        """Whether the event is still scheduled to fire."""
+        return self.state is PENDING
+
+    def __lt__(self, other):
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self):
+        return f"<EventHandle t={self.time:.3f} seq={self.seq} {self.state}>"
+
+
+class Signal:
+    """A one-shot waitable condition.
+
+    A process waits by yielding the signal; ``fire(value)`` wakes every
+    waiter with ``value``.  Waiting on an already-fired signal resumes the
+    waiter immediately (at the current simulation time) — this removes a
+    whole class of check-then-wait races from scheduler code.
+    """
+
+    __slots__ = ("name", "_fired", "_value", "_waiters")
+
+    def __init__(self, name=""):
+        self.name = name
+        self._fired = False
+        self._value = None
+        self._waiters = []
+
+    @property
+    def fired(self):
+        """Whether :meth:`fire` has been called."""
+        return self._fired
+
+    @property
+    def value(self):
+        """The value passed to :meth:`fire`, or ``None`` before firing."""
+        return self._value
+
+    def fire(self, value=None):
+        """Fire the signal, waking all current waiters with ``value``.
+
+        Raises :class:`SignalAlreadyFired` on a second call — one-shot
+        signals firing twice almost always indicate a scheduler bug.
+        """
+        if self._fired:
+            raise SignalAlreadyFired(self.name or repr(self))
+        self._fired = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            waiter(value)
+
+    def add_waiter(self, callback):
+        """Register ``callback(value)`` to run when the signal fires.
+
+        If the signal already fired the callback runs immediately.  Returns
+        a zero-argument function that deregisters the callback (used when a
+        waiting process is interrupted).
+        """
+        if self._fired:
+            callback(self._value)
+            return lambda: None
+        self._waiters.append(callback)
+
+        def remove():
+            try:
+                self._waiters.remove(callback)
+            except ValueError:
+                pass
+
+        return remove
+
+    def __repr__(self):
+        state = f"fired={self._fired}"
+        return f"<Signal {self.name!r} {state} waiters={len(self._waiters)}>"

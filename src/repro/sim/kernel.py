@@ -1,0 +1,129 @@
+"""The discrete-event simulation kernel.
+
+:class:`Simulation` owns the virtual clock and a binary-heap agenda of
+:class:`~repro.sim.events.EventHandle` objects.  Everything in the Condor
+reproduction — owner arrivals, coordinator polls, checkpoint completions —
+is ultimately a callback on this agenda.
+
+The kernel is deliberately small: callbacks plus the generator-based
+process layer in :mod:`repro.sim.process`.  It has no knowledge of
+workstations or jobs.
+"""
+
+import heapq
+import itertools
+
+from repro.sim.errors import SimulationError
+from repro.sim.events import PENDING, FIRED, EventHandle
+
+
+class Simulation:
+    """A discrete-event simulation: virtual clock plus event agenda.
+
+    Typical use::
+
+        sim = Simulation()
+        sim.schedule(10.0, hello)          # callback in 10 simulated seconds
+        sim.spawn(my_process())            # generator-based process
+        sim.run(until=3600.0)
+    """
+
+    def __init__(self, start_time=0.0):
+        self._now = float(start_time)
+        self._heap = []
+        self._seq = itertools.count()
+        self._running = False
+        #: number of events dispatched so far (diagnostic)
+        self.events_dispatched = 0
+
+    @property
+    def now(self):
+        """Current simulation time in seconds."""
+        return self._now
+
+    def schedule(self, delay, callback, *args):
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        Returns a cancellable :class:`EventHandle`.  ``delay`` must be
+        non-negative; zero-delay events run after all events already
+        scheduled for the current instant (FIFO within a timestamp).
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time, callback, *args):
+        """Schedule ``callback(*args)`` at absolute simulation ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        handle = EventHandle(time, next(self._seq), callback, args)
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def spawn(self, generator, name=None):
+        """Start a generator-based process; see :mod:`repro.sim.process`."""
+        from repro.sim.process import Process
+
+        return Process(self, generator, name=name)
+
+    def step(self):
+        """Dispatch the single next pending event.
+
+        Returns ``True`` if an event ran, ``False`` if the agenda is empty.
+        Cancelled events are skipped silently.
+        """
+        while self._heap:
+            handle = heapq.heappop(self._heap)
+            if handle.state is not PENDING:
+                continue
+            self._now = handle.time
+            handle.state = FIRED
+            callback, args = handle.callback, handle.args
+            handle.callback = None
+            handle.args = None
+            self.events_dispatched += 1
+            callback(*args)
+            return True
+        return False
+
+    def peek(self):
+        """Time of the next pending event, or ``None`` if the agenda is empty."""
+        while self._heap and self._heap[0].state is not PENDING:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def run(self, until=None):
+        """Run until the agenda empties or the clock reaches ``until``.
+
+        When ``until`` is given, the clock is advanced to exactly ``until``
+        even if the last event fires earlier, so post-run measurements see a
+        consistent horizon.
+        """
+        if self._running:
+            raise SimulationError("simulation is already running (reentrant run())")
+        self._running = True
+        try:
+            if until is None:
+                while self.step():
+                    pass
+                return
+            if until < self._now:
+                raise SimulationError(
+                    f"cannot run until {until}, already at {self._now}"
+                )
+            while True:
+                next_time = self.peek()
+                if next_time is None or next_time > until:
+                    break
+                self.step()
+            self._now = until
+        finally:
+            self._running = False
+
+    def __repr__(self):
+        return (
+            f"<Simulation now={self._now:.3f} pending={len(self._heap)} "
+            f"dispatched={self.events_dispatched}>"
+        )

@@ -1,0 +1,171 @@
+"""Generator-based simulated processes with interrupt support.
+
+A *process* is a Python generator driven by the kernel.  At each ``yield``
+the process names what it is waiting for:
+
+* a number — sleep that many simulated seconds,
+* a :class:`~repro.sim.events.Signal` — block until the signal fires
+  (the ``yield`` expression evaluates to the fired value),
+* another :class:`Process` — block until it finishes (evaluates to its
+  return value).
+
+Any other entity may call :meth:`Process.interrupt`, which cancels the
+current wait and raises :class:`~repro.sim.errors.Interrupted` inside the
+generator at its ``yield`` point.  This is how Condor models an owner
+reclaiming a workstation out from under a running background job.
+"""
+
+from repro.sim.errors import Interrupted, SimulationError, StopProcess
+from repro.sim.events import Signal
+
+NEW = "new"
+WAITING = "waiting"
+RUNNING = "running"
+DONE = "done"
+
+
+class Process:
+    """A running simulated process wrapping a generator.
+
+    Created via :meth:`repro.sim.kernel.Simulation.spawn`.  The process
+    starts at the current simulation time (after events already queued for
+    this instant).
+    """
+
+    __slots__ = (
+        "sim", "name", "_gen", "_state", "_cancel_wait", "done", "_value",
+    )
+
+    def __init__(self, sim, generator, name=None):
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"spawn() needs a generator, got {type(generator).__name__} "
+                "(did you forget to call the generator function?)"
+            )
+        self.sim = sim
+        self.name = name or getattr(generator, "__name__", "process")
+        self._gen = generator
+        self._state = NEW
+        self._cancel_wait = None
+        #: Signal fired with the process's return value when it finishes.
+        self.done = Signal(name=f"{self.name}.done")
+        self._value = None
+        handle = sim.schedule(0.0, self._resume, None, None)
+        self._cancel_wait = handle.cancel
+
+    @property
+    def alive(self):
+        """Whether the process has not yet finished."""
+        return self._state is not DONE
+
+    @property
+    def value(self):
+        """Return value of the generator once finished, else ``None``."""
+        return self._value
+
+    def interrupt(self, cause=None):
+        """Cancel the process's current wait and raise ``Interrupted`` in it.
+
+        The exception is delivered at the current simulation time (FIFO with
+        other events queued for this instant).  Interrupting a finished
+        process is an error; so is a process interrupting itself.
+        """
+        if self._state is DONE:
+            raise SimulationError(f"cannot interrupt finished process {self.name}")
+        if self._state is RUNNING:
+            raise SimulationError(f"process {self.name} cannot interrupt itself")
+        self._unwait()
+        handle = self.sim.schedule(0.0, self._resume, None, Interrupted(cause))
+        self._cancel_wait = handle.cancel
+
+    def kill(self, cause=None):
+        """Silently terminate the process without delivering an exception.
+
+        The ``done`` signal still fires (with ``None``).  Used for teardown,
+        not for modelling preemption — preemption should :meth:`interrupt`
+        so the process can clean up.
+        """
+        if self._state is DONE:
+            return
+        self._unwait()
+        self._finish(None)
+        self._gen.close()
+
+    # ------------------------------------------------------------------
+    # internal machinery
+
+    def _unwait(self):
+        if self._cancel_wait is not None:
+            self._cancel_wait()
+            self._cancel_wait = None
+
+    def _resume(self, value, exc):
+        """Advance the generator with a value or an exception."""
+        self._cancel_wait = None
+        self._state = RUNNING
+        try:
+            if exc is not None:
+                target = self._gen.throw(exc)
+            else:
+                target = self._gen.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except StopProcess as stop:
+            self._finish(stop.value)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target):
+        """Arm the wait named by the value the generator yielded."""
+        self._state = WAITING
+        if isinstance(target, (int, float)):
+            if target < 0:
+                self._crash(SimulationError(
+                    f"process {self.name} yielded a negative delay ({target})"
+                ))
+                return
+            handle = self.sim.schedule(target, self._resume, None, None)
+            self._cancel_wait = handle.cancel
+        elif isinstance(target, Signal):
+            self._arm_signal(target)
+        elif isinstance(target, Process):
+            self._arm_signal(target.done)
+        else:
+            self._crash(SimulationError(
+                f"process {self.name} yielded unsupported "
+                f"{type(target).__name__!s}: {target!r}"
+            ))
+
+    def _arm_signal(self, signal):
+        # Resumption always bounces through the agenda so that a signal
+        # fired from inside another process's resume step cannot re-enter
+        # this generator synchronously.
+        pending = {"handle": None, "removed": False}
+
+        def on_fire(value):
+            pending["handle"] = self.sim.schedule(0.0, self._resume, value, None)
+
+        remover = signal.add_waiter(on_fire)
+
+        def cancel():
+            remover()
+            if pending["handle"] is not None:
+                pending["handle"].cancel()
+
+        self._cancel_wait = cancel
+
+    def _finish(self, value):
+        self._state = DONE
+        self._value = value
+        self.done.fire(value)
+
+    def _crash(self, exc):
+        # Deliver the error into the generator so its cleanup runs, then
+        # propagate: kernel bugs should fail tests loudly, not vanish.
+        self._state = DONE
+        self._gen.close()
+        raise exc
+
+    def __repr__(self):
+        return f"<Process {self.name!r} {self._state}>"

@@ -1,0 +1,45 @@
+"""Workload modelling: Table 1's users, clusters, generators, traces."""
+
+from repro.workload.cluster import (
+    DEFAULT_SESSION_MEAN,
+    PAPER_STATION_COUNT,
+    build_cluster_specs,
+    default_user_homes,
+    station_name,
+)
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.traces import (
+    TraceReplayer,
+    dump_trace,
+    export_trace,
+    job_to_record,
+    load_trace,
+    record_to_job,
+)
+from repro.workload.users import (
+    DEMAND_CV2,
+    HEAVY_STANDING_TARGET,
+    TABLE_1,
+    UserProfile,
+    paper_profiles,
+)
+
+__all__ = [
+    "UserProfile",
+    "paper_profiles",
+    "TABLE_1",
+    "DEMAND_CV2",
+    "HEAVY_STANDING_TARGET",
+    "WorkloadGenerator",
+    "build_cluster_specs",
+    "default_user_homes",
+    "station_name",
+    "PAPER_STATION_COUNT",
+    "DEFAULT_SESSION_MEAN",
+    "TraceReplayer",
+    "export_trace",
+    "dump_trace",
+    "load_trace",
+    "job_to_record",
+    "record_to_job",
+]

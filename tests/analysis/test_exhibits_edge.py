@@ -1,0 +1,30 @@
+"""Exhibits must degrade gracefully on tiny or empty runs."""
+
+import pytest
+
+from repro.analysis import ALL_EXHIBITS
+from repro.analysis.experiment import ExperimentRun
+from repro.workload.users import UserProfile
+from repro.sim.randomness import Constant, Exponential
+
+
+@pytest.fixture(scope="module")
+def empty_run():
+    """A run whose users submit (almost) nothing."""
+    profiles_factory = [
+        UserProfile("A", "ws-01", 1, Constant(600.0),
+                    batch_size_dist=Constant(1),
+                    standing_target=1),
+        UserProfile("B", "ws-02", 1, Constant(600.0),
+                    batch_size_dist=Constant(1),
+                    interbatch_dist=Exponential(3600.0)),
+    ]
+    run = ExperimentRun(seed=1, days=1, stations=5,
+                        profiles=profiles_factory)
+    return run.execute()
+
+
+@pytest.mark.parametrize("name", sorted(ALL_EXHIBITS))
+def test_exhibits_do_not_crash_on_tiny_run(empty_run, name):
+    exhibit = ALL_EXHIBITS[name](empty_run)
+    assert isinstance(exhibit["text"], str)

@@ -1,0 +1,125 @@
+"""Integration tests: a scaled-down month through the full harness.
+
+One shared run (6 simulated days, ~15 % of the paper's job counts) backs
+all assertions here; the full-scale month is exercised by the benchmark
+suite.
+"""
+
+import pytest
+
+from repro.analysis import (
+    ALL_EXHIBITS,
+    ExperimentRun,
+    cached_month_run,
+    figure_2,
+    figure_4,
+    figure_5,
+    figure_9,
+    headline_scalars,
+    table_1,
+)
+from repro.analysis.experiment import clear_cache
+
+RUN_KWARGS = {"seed": 11, "days": 6, "job_scale": 0.15}
+
+
+@pytest.fixture(scope="module")
+def run():
+    return cached_month_run(**RUN_KWARGS)
+
+
+class TestExperimentMechanics:
+    def test_execute_is_idempotent(self, run):
+        before = run.sim.now
+        run.execute()
+        assert run.sim.now == before
+
+    def test_all_submitted_jobs_tracked(self, run):
+        assert len(run.jobs) > 50
+        assert all(job.submitted_at is not None for job in run.jobs)
+
+    def test_most_jobs_complete(self, run):
+        # The system keeps up with the workload (submission-limited).
+        assert len(run.completed_jobs) >= 0.7 * len(run.jobs)
+
+    def test_no_work_is_ever_lost_with_checkpointing(self, run):
+        # The paper's guarantee: nothing is executed twice (no kills, no
+        # crashes in the baseline run).
+        assert all(job.wasted_cpu_seconds == 0.0 for job in run.jobs)
+
+    def test_completed_jobs_did_their_demand_remotely(self, run):
+        for job in run.completed_jobs:
+            assert job.remote_cpu_seconds == pytest.approx(
+                job.demand_seconds, rel=1e-6, abs=1.0
+            )
+
+    def test_cached_run_is_shared(self, run):
+        assert cached_month_run(**RUN_KWARGS) is run
+
+    def test_light_and_heavy_partition(self, run):
+        light = set(run.light_users)
+        assert "A" not in light
+        assert light == {"B", "C", "D", "E"}
+
+
+class TestExhibitsRun:
+    @pytest.mark.parametrize("name", sorted(ALL_EXHIBITS))
+    def test_exhibit_produces_data_and_text(self, run, name):
+        exhibit = ALL_EXHIBITS[name](run)
+        assert "data" in exhibit
+        assert isinstance(exhibit["text"], str)
+        assert len(exhibit["text"]) > 40
+
+
+class TestShapeProperties:
+    """The qualitative results the paper reports must hold even at
+    reduced scale."""
+
+    def test_heavy_user_dominates_demand(self, run):
+        data = table_1(run)["data"]
+        top = data["rows"][0]
+        assert top["user"] == "A"
+        assert top["demand_share"] > 60.0
+
+    def test_demand_median_below_mean(self, run):
+        data = figure_2(run)["data"]
+        assert data["median"] < data["mean"]
+
+    def test_light_users_wait_less_than_heavy(self, run):
+        data = figure_4(run)["data"]
+        assert data["avg_light"] < data["avg_heavy"]
+
+    def test_condor_harvested_real_capacity(self, run):
+        data = figure_5(run)["data"]
+        assert run.util.remote_hours() > 100.0
+        assert max(data["system"]) > max(data["local"])
+
+    def test_leverage_is_large(self, run):
+        data = figure_9(run)["data"]
+        assert data["average"] > 100.0
+
+    def test_daemon_overheads_below_one_percent(self, run):
+        data = headline_scalars(run)["data"]
+        _ref, coordinator = data["coordinator CPU fraction (< 0.01)"]
+        _ref, scheduler = data["max local scheduler CPU fraction (< 0.01)"]
+        assert coordinator < 0.01
+        assert scheduler < 0.01
+
+
+class TestDeterminism:
+    def test_same_seed_same_outcome(self):
+        clear_cache()
+        a = ExperimentRun(seed=5, days=2, job_scale=0.05).execute()
+        b = ExperimentRun(seed=5, days=2, job_scale=0.05).execute()
+        assert len(a.jobs) == len(b.jobs)
+        assert [j.demand_seconds for j in a.jobs] == \
+            [j.demand_seconds for j in b.jobs]
+        assert [j.completed_at for j in a.completed_jobs] == \
+            [j.completed_at for j in b.completed_jobs]
+        assert a.util.remote_hours() == b.util.remote_hours()
+
+    def test_different_seed_different_outcome(self):
+        a = ExperimentRun(seed=5, days=2, job_scale=0.05).execute()
+        b = ExperimentRun(seed=6, days=2, job_scale=0.05).execute()
+        assert [j.demand_seconds for j in a.jobs] != \
+            [j.demand_seconds for j in b.jobs]

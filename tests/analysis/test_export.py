@@ -1,0 +1,55 @@
+"""Tests for the CSV exporter."""
+
+import csv
+
+import pytest
+
+from repro.analysis import cached_month_run
+from repro.analysis.export import export_csvs
+
+
+@pytest.fixture(scope="module")
+def run():
+    return cached_month_run(seed=11, days=6, job_scale=0.15)
+
+
+def read_csv(path):
+    with open(path) as f:
+        return list(csv.reader(f))
+
+
+def test_exports_every_exhibit(run, tmp_path):
+    files = export_csvs(run, tmp_path)
+    names = {p.split("/")[-1] for p in files}
+    assert {"table_1.csv", "figure_2_demand_cdf.csv",
+            "figure_5_utilization_month.csv", "figure_9_leverage.csv",
+            "headline_scalars.csv", "jobs.csv"} <= names
+
+
+def test_table1_csv_contents(run, tmp_path):
+    export_csvs(run, tmp_path)
+    rows = read_csv(tmp_path / "table_1.csv")
+    assert rows[0][0] == "user"
+    users = {row[0] for row in rows[1:]}
+    assert "A" in users
+
+
+def test_jobs_csv_has_one_row_per_job(run, tmp_path):
+    export_csvs(run, tmp_path)
+    rows = read_csv(tmp_path / "jobs.csv")
+    assert len(rows) - 1 == len(run.jobs)
+
+
+def test_utilization_csv_fractions_bounded(run, tmp_path):
+    export_csvs(run, tmp_path)
+    rows = read_csv(tmp_path / "figure_5_utilization_month.csv")
+    for _hour, system_u, local_u in rows[1:]:
+        assert 0.0 <= float(system_u) <= 1.0 + 1e-6
+        assert 0.0 <= float(local_u) <= 1.0 + 1e-6
+
+
+def test_cdf_csv_monotone(run, tmp_path):
+    export_csvs(run, tmp_path)
+    rows = read_csv(tmp_path / "figure_2_demand_cdf.csv")
+    values = [float(v) for _g, v in rows[1:]]
+    assert values == sorted(values)

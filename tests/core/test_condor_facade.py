@@ -1,0 +1,78 @@
+"""Tests for the CondorSystem facade itself."""
+
+import pytest
+
+from repro.core import CondorSystem, Job, StationSpec, UpDownPolicy
+from repro.machine import NeverActiveOwner
+from repro.sim import HOUR, Simulation, SimulationError
+
+
+def specs(n=2):
+    return [StationSpec(f"ws-{i}", owner_model=NeverActiveOwner())
+            for i in range(n)]
+
+
+def test_needs_stations():
+    with pytest.raises(SimulationError):
+        CondorSystem(Simulation(), [])
+
+
+def test_duplicate_names_rejected():
+    sim = Simulation()
+    with pytest.raises(SimulationError):
+        CondorSystem(sim, [StationSpec("a"), StationSpec("a")])
+
+
+def test_unknown_coordinator_host_rejected():
+    sim = Simulation()
+    with pytest.raises(SimulationError):
+        CondorSystem(sim, specs(), coordinator_host="ghost")
+
+
+def test_coordinator_defaults_to_first_station():
+    sim = Simulation()
+    system = CondorSystem(sim, specs())
+    assert system.coordinator.host_station is system.station("ws-0")
+
+
+def test_unknown_station_lookup():
+    sim = Simulation()
+    system = CondorSystem(sim, specs())
+    with pytest.raises(SimulationError):
+        system.scheduler("nope")
+    with pytest.raises(SimulationError):
+        system.station("nope")
+
+
+def test_run_autostarts():
+    sim = Simulation()
+    system = CondorSystem(sim, specs())
+    job = Job(user="u", home="ws-0", demand_seconds=HOUR)
+    system.submit(job)
+    system.run(until=4 * HOUR)   # no explicit start()
+    assert job.finished
+
+
+def test_default_policy_is_updown():
+    sim = Simulation()
+    system = CondorSystem(sim, specs())
+    assert isinstance(system.policy, UpDownPolicy)
+
+
+def test_completed_jobs_listing():
+    sim = Simulation()
+    system = CondorSystem(sim, specs())
+    job = Job(user="u", home="ws-0", demand_seconds=HOUR)
+    system.submit(job)
+    system.run(until=4 * HOUR)
+    assert system.completed_jobs() == [job]
+
+
+def test_finalize_closes_ledgers():
+    sim = Simulation()
+    system = CondorSystem(sim, specs())
+    system.start()
+    system.station("ws-0").owner_arrived()
+    sim.run(until=HOUR)
+    system.finalize()
+    assert system.station("ws-0").ledger.totals["owner"] == HOUR

@@ -1,0 +1,87 @@
+"""Tests for the local-only execution baseline."""
+
+import pytest
+
+from repro.core import Job, LocalRunner
+from repro.machine import TraceOwner, Workstation
+from repro.sim import HOUR, Simulation
+
+
+def make_runner(sim, owner_intervals=()):
+    station = Workstation(
+        sim, "ws-1",
+        owner_model=TraceOwner(owner_intervals) if owner_intervals else None,
+    )
+    station.start()
+    return LocalRunner(sim, station), station
+
+
+def test_job_runs_locally_to_completion():
+    sim = Simulation()
+    runner, station = make_runner(sim)
+    job = Job(user="u", home="ws-1", demand_seconds=HOUR, syscall_rate=0.0)
+    runner.submit(job)
+    sim.run(until=2 * HOUR)
+    assert job.finished
+    assert job.completed_at == pytest.approx(HOUR)
+    assert station.ledger.totals["local_job"] == pytest.approx(HOUR)
+
+
+def test_local_syscalls_inflate_runtime_slightly():
+    sim = Simulation()
+    runner, _station = make_runner(sim)
+    # 100 calls/s at 0.5 ms each -> 5% overhead.
+    job = Job(user="u", home="ws-1", demand_seconds=HOUR, syscall_rate=100.0)
+    runner.submit(job)
+    sim.run(until=2 * HOUR)
+    assert job.completed_at == pytest.approx(1.05 * HOUR, rel=1e-6)
+
+
+def test_owner_activity_pauses_job_without_loss():
+    sim = Simulation()
+    runner, _station = make_runner(
+        sim, owner_intervals=[(600.0, 1800.0)]   # 20-minute interruption
+    )
+    job = Job(user="u", home="ws-1", demand_seconds=HOUR, syscall_rate=0.0)
+    runner.submit(job)
+    sim.run(until=3 * HOUR)
+    assert job.finished
+    # 1 h of work + 20 min of owner time.
+    assert job.completed_at == pytest.approx(HOUR + 1200.0)
+    assert job.wasted_cpu_seconds == 0.0
+
+
+def test_jobs_run_serially_in_order():
+    sim = Simulation()
+    runner, _station = make_runner(sim)
+    first = Job(user="u", home="ws-1", demand_seconds=600.0, syscall_rate=0.0)
+    second = Job(user="u", home="ws-1", demand_seconds=600.0,
+                 syscall_rate=0.0)
+    runner.submit(first)
+    runner.submit(second)
+    sim.run(until=HOUR)
+    assert first.completed_at == pytest.approx(600.0)
+    assert second.completed_at == pytest.approx(1200.0)
+    assert runner.completed == [first, second]
+
+
+def test_submit_while_owner_active_waits():
+    sim = Simulation()
+    runner, _station = make_runner(sim, owner_intervals=[(0.0, 1000.0)])
+    sim.run(until=10.0)   # owner already at the keyboard
+    job = Job(user="u", home="ws-1", demand_seconds=600.0, syscall_rate=0.0)
+    runner.submit(job)
+    sim.run(until=100.0)
+    assert not job.finished
+    assert runner.queue_length == 1
+    sim.run(until=3000.0)
+    assert job.finished
+    assert job.completed_at == pytest.approx(1600.0)
+
+
+def test_queue_length_counts_running_job():
+    sim = Simulation()
+    runner, _station = make_runner(sim)
+    runner.submit(Job(user="u", home="ws-1", demand_seconds=HOUR))
+    sim.run(until=60.0)
+    assert runner.queue_length == 1

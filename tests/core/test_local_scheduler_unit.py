@@ -1,0 +1,146 @@
+"""Focused unit tests of the local scheduler's less-travelled paths."""
+
+import pytest
+
+from repro.core import (
+    CondorConfig,
+    CondorSystem,
+    Job,
+    SchedulingError,
+    StationSpec,
+    events,
+)
+from repro.core import job as jobstate
+from repro.machine import AlwaysActiveOwner, NeverActiveOwner
+from repro.sim import DAY, HOUR, Simulation
+
+
+def build(hosts=1, config=None, home_disk=None):
+    sim = Simulation()
+    specs = [StationSpec("home", owner_model=AlwaysActiveOwner(),
+                         disk_mb=home_disk)]
+    specs += [StationSpec(f"h{i}", owner_model=NeverActiveOwner())
+              for i in range(hosts)]
+    system = CondorSystem(sim, specs, config=config,
+                          coordinator_host="home")
+    system.start()
+    return sim, system
+
+
+class TestSubmission:
+    def test_wrong_home_rejected(self):
+        sim, system = build()
+        job = Job(user="u", home="elsewhere", demand_seconds=HOUR)
+        with pytest.raises(SchedulingError):
+            system.scheduler("home").submit(job)
+
+    def test_submit_stores_initial_image(self):
+        sim, system = build()
+        job = Job(user="u", home="home", demand_seconds=HOUR)
+        system.submit(job)
+        store = system.scheduler("home").store
+        image = store.fetch(job.id)
+        assert image is not None
+        assert image.cpu_progress == 0.0
+
+    def test_completed_job_image_discarded(self):
+        sim, system = build()
+        job = Job(user="u", home="home", demand_seconds=HOUR)
+        system.submit(job)
+        sim.run(until=DAY)
+        assert job.finished
+        assert system.scheduler("home").store.fetch(job.id) is None
+
+
+class TestRemoval:
+    def test_remove_pending_job(self):
+        sim, system = build(hosts=0)
+        job = Job(user="u", home="home", demand_seconds=HOUR)
+        system.submit(job)
+        system.scheduler("home").remove(job)
+        assert job.state == jobstate.REMOVED
+        assert system.queue_length() == 0
+        assert system.bus.counts[events.JOB_REMOVED] == 1
+
+    def test_remove_running_job_rejected(self):
+        sim, system = build()
+        job = Job(user="u", home="home", demand_seconds=10 * HOUR)
+        system.submit(job)
+        sim.run(until=HOUR)
+        assert job.state == jobstate.RUNNING
+        with pytest.raises(SchedulingError):
+            system.scheduler("home").remove(job)
+
+    def test_removed_job_frees_disk(self):
+        sim, system = build(hosts=0, home_disk=1.0)
+        scheduler = system.scheduler("home")
+        job = Job(user="u", home="home", demand_seconds=HOUR)
+        system.submit(job)
+        used_before = system.station("home").disk.used_mb
+        scheduler.remove(job)
+        assert system.station("home").disk.used_mb < used_before
+
+
+class TestShadows:
+    def test_shadow_created_on_placement_and_retired_on_completion(self):
+        sim, system = build()
+        scheduler = system.scheduler("home")
+        job = Job(user="u", home="home", demand_seconds=HOUR,
+                  syscall_rate=1.0)
+        system.submit(job)
+        sim.run(until=10 * 60.0)
+        assert job.id in scheduler.shadows
+        sim.run(until=DAY)
+        assert job.finished
+        assert job.id not in scheduler.shadows
+
+    def test_shadow_support_matches_job_accounting(self):
+        sim, system = build()
+        job = Job(user="u", home="home", demand_seconds=HOUR,
+                  syscall_rate=2.0)
+        system.submit(job)
+        sim.run(until=DAY)
+        # 2 calls/s * 10 ms * 3600 s = 72 s of shadow support.
+        assert job.support_seconds["syscall"] == pytest.approx(72.0,
+                                                               rel=0.01)
+
+
+class TestGrantCornerCases:
+    def test_grant_with_empty_queue_is_ignored(self):
+        sim, system = build()
+        scheduler = system.scheduler("home")
+        # Inject a spurious grant directly.
+        scheduler._handle_grant({"host": "h0", "free_mb": 100.0,
+                                 "arch": "vax"})
+        sim.run(until=300.0)
+        assert system.station("h0").running_job is None
+
+    def test_daemon_overhead_accrues_hourly(self):
+        sim, system = build(hosts=0)
+        sim.run(until=10 * HOUR)
+        ledger = system.station("home").ledger
+        expected = 10 * HOUR * 0.0025
+        assert ledger.totals["scheduler"] == pytest.approx(expected,
+                                                           rel=0.01)
+
+    def test_zero_daemon_load_config(self):
+        sim, system = build(hosts=0,
+                            config=CondorConfig(scheduler_daemon_load=0.0))
+        sim.run(until=10 * HOUR)
+        assert system.station("home").ledger.totals["scheduler"] == 0.0
+
+
+class TestSliceAccounting:
+    def test_execution_slices_reported_home(self):
+        sim, system = build()
+        job = Job(user="u", home="home", demand_seconds=2 * HOUR,
+                  syscall_rate=0.0)
+        system.submit(job)
+        sim.run(until=DAY)
+        assert job.finished
+        # One uninterrupted slice: remote CPU equals demand exactly.
+        assert job.remote_cpu_seconds == pytest.approx(2 * HOUR, abs=0.5)
+        host_ledger = system.station("h0").ledger
+        assert host_ledger.totals["remote_job"] == pytest.approx(
+            2 * HOUR, abs=0.5
+        )

@@ -1,0 +1,154 @@
+"""Tests for the Up-Down policy and the baseline allocation policies."""
+
+import pytest
+
+from repro.core import FcfsPolicy, RandomPolicy, RoundRobinPolicy, UpDownPolicy
+from repro.sim import MINUTE, RandomStream, SimulationError
+
+
+class TestUpDownIndex:
+    def test_starts_at_zero(self):
+        policy = UpDownPolicy()
+        policy.register_station("a")
+        assert policy.index("a") == 0.0
+
+    def test_holding_capacity_raises_index(self):
+        policy = UpDownPolicy(up_rate=1.0)
+        policy.register_station("a")
+        policy.update(set(), {"a": 3}, 2 * MINUTE)
+        assert policy.index("a") == pytest.approx(6.0)  # 3 machines * 2 min
+
+    def test_wanting_unserved_lowers_index(self):
+        policy = UpDownPolicy(down_rate=1.0)
+        policy.register_station("a")
+        policy.update({"a"}, {}, 2 * MINUTE)
+        assert policy.index("a") == pytest.approx(-2.0)
+
+    def test_idle_index_decays_toward_zero(self):
+        policy = UpDownPolicy(decay_rate=0.5)
+        policy.register_station("a")
+        policy.update(set(), {"a": 1}, 10 * MINUTE)   # index -> 10
+        policy.update(set(), {}, 10 * MINUTE)         # decays by 5
+        assert policy.index("a") == pytest.approx(5.0)
+        policy.update(set(), {}, 100 * MINUTE)        # clamps at 0
+        assert policy.index("a") == 0.0
+
+    def test_negative_index_decays_up_toward_zero(self):
+        policy = UpDownPolicy(decay_rate=0.5)
+        policy.register_station("a")
+        policy.update({"a"}, {}, 10 * MINUTE)         # index -> -10
+        policy.update(set(), {}, 10 * MINUTE)
+        assert policy.index("a") == pytest.approx(-5.0)
+
+    def test_holding_dominates_wanting(self):
+        # A station both holding machines and wanting more still goes up.
+        policy = UpDownPolicy()
+        policy.register_station("a")
+        policy.update({"a"}, {"a": 2}, MINUTE)
+        assert policy.index("a") > 0
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(SimulationError):
+            UpDownPolicy(up_rate=-1.0)
+
+
+class TestUpDownRanking:
+    def test_most_deprived_first(self):
+        policy = UpDownPolicy()
+        for name in ("heavy", "light"):
+            policy.register_station(name)
+        policy.update(set(), {"heavy": 10}, 10 * MINUTE)
+        policy.update({"light"}, {"heavy": 10}, 2 * MINUTE)
+        assert policy.rank_requesters(["heavy", "light"]) == ["light", "heavy"]
+
+    def test_tie_broken_by_name(self):
+        policy = UpDownPolicy()
+        policy.register_station("b")
+        policy.register_station("a")
+        assert policy.rank_requesters(["b", "a"]) == ["a", "b"]
+
+
+class TestUpDownPreemption:
+    def make_policy(self):
+        policy = UpDownPolicy(preemption_margin=2.0)
+        for name in ("heavy", "light", "host1", "host2"):
+            policy.register_station(name)
+        return policy
+
+    def test_preempts_richest_holder(self):
+        policy = self.make_policy()
+        policy.update(set(), {"heavy": 5}, 10 * MINUTE)   # heavy index 50
+        victim = policy.choose_preemption_victim(
+            "light", [("host1", "heavy"), ("host2", "light")]
+        )
+        assert victim == "host1"
+
+    def test_never_preempts_own_jobs(self):
+        policy = self.make_policy()
+        policy.update(set(), {"light": 1}, 100 * MINUTE)
+        victim = policy.choose_preemption_victim(
+            "light", [("host1", "light")]
+        )
+        assert victim is None
+
+    def test_margin_prevents_thrash(self):
+        policy = self.make_policy()
+        # Indexes equal: no preemption despite a holder existing.
+        victim = policy.choose_preemption_victim(
+            "light", [("host1", "heavy")]
+        )
+        assert victim is None
+
+    def test_no_holders_no_victim(self):
+        policy = self.make_policy()
+        assert policy.choose_preemption_victim("light", []) is None
+
+
+class TestFcfsPolicy:
+    def test_order_of_first_request_wins(self):
+        policy = FcfsPolicy()
+        policy.update({"b"}, {}, 120.0)
+        policy.update({"b", "a"}, {}, 120.0)
+        assert policy.rank_requesters(["a", "b"]) == ["b", "a"]
+
+    def test_position_lost_when_queue_drains(self):
+        policy = FcfsPolicy()
+        policy.update({"b"}, {}, 120.0)
+        policy.update(set(), {}, 120.0)           # b's queue drained
+        policy.update({"a", "b"}, {}, 120.0)      # both re-request
+        assert policy.rank_requesters(["a", "b"]) == ["a", "b"]
+
+    def test_no_preemption(self):
+        policy = FcfsPolicy()
+        assert not policy.allows_preemption
+        assert policy.choose_preemption_victim("a", [("h", "b")]) is None
+
+
+class TestRandomPolicy:
+    def test_needs_stream(self):
+        with pytest.raises(SimulationError):
+            RandomPolicy(None)
+
+    def test_ranking_is_a_permutation(self):
+        policy = RandomPolicy(RandomStream(1))
+        names = ["a", "b", "c", "d"]
+        ranked = policy.rank_requesters(names)
+        assert sorted(ranked) == names
+
+    def test_orders_vary_across_calls(self):
+        policy = RandomPolicy(RandomStream(1))
+        names = [f"s{i}" for i in range(8)]
+        orders = {tuple(policy.rank_requesters(names)) for _ in range(20)}
+        assert len(orders) > 1
+
+
+class TestRoundRobinPolicy:
+    def test_rotation(self):
+        policy = RoundRobinPolicy()
+        names = ["a", "b", "c"]
+        assert policy.rank_requesters(names) == ["a", "b", "c"]
+        assert policy.rank_requesters(names) == ["b", "c", "a"]
+        assert policy.rank_requesters(names) == ["c", "a", "b"]
+
+    def test_empty_ok(self):
+        assert RoundRobinPolicy().rank_requesters([]) == []

@@ -1,0 +1,64 @@
+"""Tests for owner-activity recording and replay."""
+
+import pytest
+
+from repro.machine import (
+    AlternatingOwner,
+    OwnerActivityRecorder,
+    TraceOwner,
+    Workstation,
+    dump_activity,
+    load_activity,
+    record_cluster,
+    to_trace_owner,
+)
+from repro.sim import Constant, HOUR, RandomStream, Simulation
+
+
+def run_station(model, horizon=10 * HOUR):
+    sim = Simulation()
+    station = Workstation(sim, "ws-1", owner_model=model)
+    recorder = OwnerActivityRecorder(station)
+    station.start()
+    sim.run(until=horizon)
+    return recorder.close(horizon)
+
+
+def test_records_closed_intervals():
+    intervals = run_station(TraceOwner([(100.0, 200.0), (300.0, 400.0)]))
+    assert intervals == [(100.0, 200.0), (300.0, 400.0)]
+
+
+def test_open_interval_closed_at_horizon():
+    intervals = run_station(TraceOwner([(100.0, 50 * HOUR)]),
+                            horizon=10 * HOUR)
+    assert intervals == [(100.0, 10 * HOUR)]
+
+
+def test_replay_reproduces_activity_exactly():
+    stream = RandomStream(5)
+    original = run_station(
+        AlternatingOwner(Constant(900.0), Constant(300.0), stream)
+    )
+    replayed = run_station(to_trace_owner(original))
+    assert replayed == original
+
+
+def test_cluster_roundtrip_through_json(tmp_path):
+    sim = Simulation()
+    stations = [
+        Workstation(sim, f"ws-{i}",
+                    owner_model=TraceOwner([(100.0 * (i + 1), 1000.0 * (i + 1))]))
+        for i in range(3)
+    ]
+    recorders = record_cluster(stations)
+    for station in stations:
+        station.start()
+    sim.run(until=5000.0)
+    path = tmp_path / "activity.json"
+    dump_activity(recorders, 5000.0, path)
+
+    owners = load_activity(path)
+    assert set(owners) == {"ws-0", "ws-1", "ws-2"}
+    replayed = run_station(owners["ws-1"], horizon=5000.0)
+    assert replayed == [(200.0, 2000.0)]

@@ -1,0 +1,59 @@
+"""Tests for the autocorrelated idle-interval owner model (§5(1))."""
+
+import pytest
+
+from repro.machine import CorrelatedOwner, Workstation
+from repro.sim import DAY, HOUR, Constant, RandomStream, Simulation, SimulationError
+
+
+def collect_idle_intervals(rho, seed=9, horizon=200 * DAY):
+    sim = Simulation()
+    model = CorrelatedOwner(
+        mean_idle=2 * HOUR, session_dist=Constant(20 * 60.0),
+        stream=RandomStream(seed, "corr"), rho=rho,
+    )
+    station = Workstation(sim, "ws", owner_model=model)
+    station.start()
+    sim.run(until=horizon)
+    return [end - start for start, end in station.idle_history]
+
+
+def lag1_correlation(values):
+    n = len(values) - 1
+    x, y = values[:-1], values[1:]
+    mx = sum(x) / n
+    my = sum(y) / n
+    cov = sum((a - mx) * (b - my) for a, b in zip(x, y)) / n
+    vx = sum((a - mx) ** 2 for a in x) / n
+    vy = sum((b - my) ** 2 for b in y) / n
+    return cov / (vx * vy) ** 0.5
+
+
+def test_rho_validated():
+    with pytest.raises(SimulationError):
+        CorrelatedOwner(HOUR, Constant(60.0), RandomStream(1), rho=1.0)
+    with pytest.raises(SimulationError):
+        CorrelatedOwner(0.0, Constant(60.0), RandomStream(1))
+
+
+def test_mean_idle_matches_parameter():
+    intervals = collect_idle_intervals(rho=0.0)
+    mean = sum(intervals) / len(intervals)
+    assert mean == pytest.approx(2 * HOUR, rel=0.15)
+
+
+def test_long_follows_long_when_correlated():
+    intervals = collect_idle_intervals(rho=0.7)
+    assert len(intervals) > 300
+    assert lag1_correlation(intervals) > 0.3
+
+
+def test_independent_when_rho_zero():
+    intervals = collect_idle_intervals(rho=0.0)
+    assert abs(lag1_correlation(intervals)) < 0.15
+
+
+def test_correlation_increases_with_rho():
+    low = lag1_correlation(collect_idle_intervals(rho=0.2))
+    high = lag1_correlation(collect_idle_intervals(rho=0.8))
+    assert high > low

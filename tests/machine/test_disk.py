@@ -1,0 +1,102 @@
+"""Tests for the disk model, including hypothesis invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import Disk, DiskFullError
+from repro.sim import SimulationError
+
+
+def test_fresh_disk_is_empty():
+    disk = Disk(100.0)
+    assert disk.free_mb == 100.0
+    assert disk.used_mb == 0.0
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(SimulationError):
+        Disk(0)
+
+
+def test_allocate_and_release():
+    disk = Disk(100.0)
+    allocation = disk.allocate(30.0, purpose="image")
+    assert disk.free_mb == 70.0
+    allocation.release()
+    assert disk.free_mb == 100.0
+
+
+def test_release_is_idempotent():
+    disk = Disk(100.0)
+    allocation = disk.allocate(10.0)
+    allocation.release()
+    allocation.release()
+    assert disk.free_mb == 100.0
+
+
+def test_overallocation_raises_disk_full():
+    disk = Disk(10.0)
+    disk.allocate(8.0)
+    with pytest.raises(DiskFullError):
+        disk.allocate(5.0)
+
+
+def test_disk_full_error_carries_context():
+    disk = Disk(10.0, station_name="ws-3")
+    with pytest.raises(DiskFullError) as excinfo:
+        disk.allocate(50.0)
+    assert excinfo.value.requested_mb == 50.0
+    assert "ws-3" in str(excinfo.value)
+
+
+def test_fits_predicts_allocation():
+    disk = Disk(10.0)
+    assert disk.fits(10.0)
+    assert not disk.fits(10.5)
+
+
+def test_negative_allocation_rejected():
+    disk = Disk(10.0)
+    with pytest.raises(SimulationError):
+        disk.allocate(-1.0)
+
+
+def test_zero_allocation_allowed():
+    disk = Disk(10.0)
+    allocation = disk.allocate(0.0)
+    assert disk.free_mb == 10.0
+    allocation.release()
+
+
+def test_usage_by_purpose():
+    disk = Disk(100.0)
+    disk.allocate(10.0, purpose="checkpoint")
+    disk.allocate(5.0, purpose="checkpoint")
+    disk.allocate(20.0, purpose="image")
+    usage = disk.usage_by_purpose()
+    assert usage == {"checkpoint": 15.0, "image": 20.0}
+
+
+@given(st.lists(st.floats(0.1, 20.0), min_size=0, max_size=30))
+@settings(max_examples=60, deadline=None)
+def test_usage_never_exceeds_capacity(sizes):
+    disk = Disk(50.0)
+    live = []
+    for size in sizes:
+        try:
+            live.append(disk.allocate(size))
+        except DiskFullError:
+            if live:
+                live.pop(0).release()
+        assert 0.0 <= disk.used_mb <= disk.capacity_mb + 1e-6
+
+
+@given(st.lists(st.floats(0.1, 10.0), min_size=1, max_size=20))
+@settings(max_examples=60, deadline=None)
+def test_alloc_release_all_restores_empty(sizes):
+    disk = Disk(1000.0)
+    allocations = [disk.allocate(size) for size in sizes]
+    for allocation in allocations:
+        allocation.release()
+    assert disk.used_mb == pytest.approx(0.0, abs=1e-9)

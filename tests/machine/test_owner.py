@@ -1,0 +1,146 @@
+"""Tests for owner-activity models."""
+
+import pytest
+
+from repro.machine import (
+    AlternatingOwner,
+    AlwaysActiveOwner,
+    DiurnalOwner,
+    NeverActiveOwner,
+    TraceOwner,
+    Workstation,
+    sample_busyness,
+)
+from repro.sim import DAY, HOUR, WEEK, Constant, LogNormal, RandomStream, Simulation
+from repro.sim.errors import SimulationError
+
+
+def make_station(sim, model):
+    station = Workstation(sim, "ws-0", owner_model=model)
+    transitions = []
+    station.on_owner_change(
+        lambda st, active: transitions.append((sim.now, active))
+    )
+    station.start()
+    return station, transitions
+
+
+def test_never_active_owner():
+    sim = Simulation()
+    station, transitions = make_station(sim, NeverActiveOwner())
+    sim.run(until=DAY)
+    assert transitions == []
+    assert station.idle
+
+
+def test_always_active_owner():
+    sim = Simulation()
+    station, transitions = make_station(sim, AlwaysActiveOwner())
+    sim.run(until=DAY)
+    assert transitions == [(0.0, True)]
+    assert not station.idle
+
+
+def test_alternating_owner_cycles():
+    sim = Simulation()
+    stream = RandomStream(1)
+    model = AlternatingOwner(Constant(100.0), Constant(50.0), stream)
+    station, transitions = make_station(sim, model)
+    sim.run(until=399.0)
+    assert transitions == [
+        (100.0, True), (150.0, False), (250.0, True), (300.0, False),
+    ]
+
+
+def test_alternating_owner_start_active():
+    sim = Simulation()
+    stream = RandomStream(1)
+    model = AlternatingOwner(
+        Constant(100.0), Constant(50.0), stream, start_active=True
+    )
+    _station, transitions = make_station(sim, model)
+    sim.run(until=60.0)
+    assert transitions == [(0.0, True), (50.0, False)]
+
+
+def test_trace_owner_replays_intervals():
+    sim = Simulation()
+    model = TraceOwner([(10.0, 20.0), (30.0, 35.0)])
+    _station, transitions = make_station(sim, model)
+    sim.run(until=100.0)
+    assert transitions == [
+        (10.0, True), (20.0, False), (30.0, True), (35.0, False),
+    ]
+
+
+def test_trace_owner_validates_ordering():
+    with pytest.raises(SimulationError):
+        TraceOwner([(10.0, 5.0)])
+    with pytest.raises(SimulationError):
+        TraceOwner([(10.0, 20.0), (15.0, 25.0)])
+
+
+class TestDiurnalOwner:
+    def make_model(self, busyness=1.0, seed=7):
+        stream = RandomStream(seed, "owner")
+        session = LogNormal(40 * 60.0, 0.8)   # ~40-minute sessions
+        return DiurnalOwner(session, stream, busyness=busyness)
+
+    def test_rate_peaks_in_weekday_afternoon(self):
+        model = self.make_model()
+        monday_3am = 3 * HOUR
+        monday_2pm = 14 * HOUR
+        assert model.rate(monday_2pm) > 5 * model.rate(monday_3am)
+
+    def test_weekend_quieter_than_weekday(self):
+        model = self.make_model()
+        saturday_2pm = 5 * DAY + 14 * HOUR
+        monday_2pm = 14 * HOUR
+        assert model.rate(saturday_2pm) < 0.5 * model.rate(monday_2pm)
+
+    def test_zero_busyness_means_never_active(self):
+        sim = Simulation()
+        station, transitions = make_station(sim, self.make_model(busyness=0.0))
+        sim.run(until=WEEK)
+        assert transitions == []
+
+    def test_expected_active_fraction_near_quarter(self):
+        # Calibration: default parameters should land near the paper's
+        # 25% average local utilisation.
+        model = self.make_model()
+        fraction = model.expected_active_fraction()
+        assert 0.15 < fraction < 0.40
+
+    def test_simulated_activity_fraction_matches_expectation(self):
+        sim = Simulation()
+        model = self.make_model(seed=3)
+        station, _transitions = make_station(sim, model)
+        sim.run(until=2 * WEEK)
+        station.ledger.close_all()
+        active_fraction = station.ledger.totals["owner"] / (2 * WEEK)
+        expected = model.expected_active_fraction()
+        assert active_fraction == pytest.approx(expected, abs=0.12)
+
+    def test_hour_weights_length_validated(self):
+        stream = RandomStream(0)
+        with pytest.raises(SimulationError):
+            DiurnalOwner(Constant(60.0), stream, hour_weights=(1.0,) * 23)
+
+
+class TestSampleBusyness:
+    def test_values_come_from_mix(self):
+        stream = RandomStream(5)
+        mix = ((0.5, 0.2), (0.5, 2.0))
+        values = {sample_busyness(stream, mix) for _ in range(200)}
+        assert values == {0.2, 2.0}
+
+    def test_proportions_roughly_match(self):
+        stream = RandomStream(6)
+        mix = ((0.8, 1.0), (0.2, 3.0))
+        draws = [sample_busyness(stream, mix) for _ in range(2000)]
+        share = draws.count(3.0) / len(draws)
+        assert share == pytest.approx(0.2, abs=0.04)
+
+    def test_bad_mix_rejected(self):
+        with pytest.raises(SimulationError):
+            sample_busyness(RandomStream(0), ((0.5, 1.0), (0.4, 2.0)))

@@ -1,0 +1,73 @@
+"""Tests for plain-text report rendering."""
+
+from repro.metrics.report import (
+    format_cell,
+    render_comparison,
+    render_series,
+    render_table,
+)
+
+
+class TestFormatCell:
+    def test_none_is_dash(self):
+        assert format_cell(None) == "-"
+
+    def test_large_floats_grouped(self):
+        assert format_cell(12438.0) == "12,438"
+
+    def test_small_floats_two_decimals(self):
+        assert format_cell(0.25) == "0.25"
+
+    def test_mid_floats_one_decimal(self):
+        assert format_cell(42.42) == "42.4"
+
+    def test_zero(self):
+        assert format_cell(0.0) == "0"
+
+    def test_strings_pass_through(self):
+        assert format_cell("A") == "A"
+
+
+class TestRenderTable:
+    def test_contains_headers_and_rows(self):
+        text = render_table(["user", "jobs"], [("A", 690), ("B", 138)],
+                            title="Table 1")
+        assert "Table 1" in text
+        assert "user" in text and "jobs" in text
+        assert "690" in text and "B" in text
+
+    def test_columns_aligned(self):
+        text = render_table(["a", "b"], [("x", 1)])
+        lines = text.splitlines()
+        assert len(set(len(line) for line in lines)) <= 2  # header+sep+row
+
+
+class TestRenderComparison:
+    def test_ratio_computed(self):
+        text = render_comparison([("consumed hours", 4771, 4369.0)])
+        assert "0.92" in text
+
+    def test_missing_paper_value(self):
+        text = render_comparison([("extra metric", None, 5.0)])
+        assert "-" in text
+
+    def test_zero_paper_value_no_division(self):
+        text = render_comparison([("zero target", 0.0, 5.0)])
+        assert "zero target" in text
+
+
+class TestRenderSeries:
+    def test_bars_scale_with_values(self):
+        text = render_series([1, 2], [1.0, 2.0], title="demo")
+        lines = text.splitlines()
+        bar1 = lines[-2].count("#")
+        bar2 = lines[-1].count("#")
+        assert bar2 == 2 * bar1
+
+    def test_none_values_rendered_as_dash(self):
+        text = render_series([1], [None])
+        assert "-" in text
+
+    def test_all_zero_series(self):
+        text = render_series([1, 2], [0.0, 0.0])
+        assert "#" not in text

@@ -1,0 +1,56 @@
+"""Tests for per-station accounting breakdown."""
+
+import pytest
+
+from repro.machine import OWNER, REMOTE_JOB, SYSCALL, Workstation
+from repro.metrics import render_station_breakdown, station_breakdown, station_row
+from repro.sim import HOUR, Simulation
+
+
+def busy_station(sim, name, owner_h=2.0, donated_h=5.0):
+    station = Workstation(sim, name)
+    ledger = station.ledger
+    ledger.add_load(SYSCALL, 0.0, HOUR, 0.5)
+    ledger.start(OWNER)
+    sim.run(until=sim.now + owner_h * HOUR)
+    ledger.stop(OWNER)
+    ledger.start(REMOTE_JOB)
+    sim.run(until=sim.now + donated_h * HOUR)
+    ledger.stop(REMOTE_JOB)
+    return station
+
+
+def test_station_row_fields():
+    sim = Simulation()
+    station = busy_station(sim, "ws-1")
+    row = station_row(station, 10 * HOUR)
+    assert row["name"] == "ws-1"
+    assert row["owner_hours"] == pytest.approx(2.0)
+    assert row["donated_hours"] == pytest.approx(5.0)
+    assert row["support_hours"] == pytest.approx(0.5)
+    assert row["owner_fraction"] == pytest.approx(0.2)
+    assert row["idle_hours"] == pytest.approx(3.0)
+
+
+def test_breakdown_sorted_by_donated():
+    sim = Simulation()
+    small = busy_station(sim, "small", donated_h=1.0)
+    sim2 = Simulation()
+    big = busy_station(sim2, "big", donated_h=8.0)
+    rows = station_breakdown([small, big], 10 * HOUR)
+    assert [row["name"] for row in rows] == ["big", "small"]
+
+
+def test_render_contains_totals():
+    sim = Simulation()
+    station = busy_station(sim, "ws-1")
+    text = render_station_breakdown([station], 10 * HOUR)
+    assert "TOTAL" in text
+    assert "ws-1" in text
+
+
+def test_idle_never_negative():
+    sim = Simulation()
+    station = busy_station(sim, "ws-1", owner_h=6.0, donated_h=6.0)
+    row = station_row(station, 10 * HOUR)   # overcommitted horizon
+    assert row["idle_hours"] == 0.0

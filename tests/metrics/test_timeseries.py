@@ -1,0 +1,94 @@
+"""Tests for hourly accumulators and periodic samplers."""
+
+import pytest
+
+from repro.metrics import HourlyAccumulator, PeriodicSampler
+from repro.sim import HOUR, Simulation, SimulationError
+
+
+class TestHourlyAccumulator:
+    def test_interval_within_one_hour(self):
+        acc = HourlyAccumulator()
+        acc.add_interval(100.0, 400.0)
+        assert acc.value(0) == 300.0
+        assert acc.value(1) == 0.0
+
+    def test_interval_split_across_hours(self):
+        acc = HourlyAccumulator()
+        acc.add_interval(0.5 * HOUR, 2.5 * HOUR)
+        assert acc.value(0) == pytest.approx(0.5 * HOUR)
+        assert acc.value(1) == pytest.approx(HOUR)
+        assert acc.value(2) == pytest.approx(0.5 * HOUR)
+
+    def test_weight_scales_contribution(self):
+        acc = HourlyAccumulator()
+        acc.add_interval(0.0, HOUR, weight=0.25)
+        assert acc.value(0) == pytest.approx(0.25 * HOUR)
+
+    def test_zero_weight_is_noop(self):
+        acc = HourlyAccumulator()
+        acc.add_interval(0.0, HOUR, weight=0.0)
+        assert acc.total() == 0.0
+
+    def test_inverted_interval_rejected(self):
+        with pytest.raises(SimulationError):
+            HourlyAccumulator().add_interval(10.0, 5.0)
+
+    def test_exact_hour_boundary(self):
+        acc = HourlyAccumulator()
+        acc.add_interval(HOUR, 2 * HOUR)
+        assert acc.value(0) == 0.0
+        assert acc.value(1) == pytest.approx(HOUR)
+        assert acc.value(2) == 0.0
+
+    def test_series_dense(self):
+        acc = HourlyAccumulator()
+        acc.add_interval(0.0, 600.0)
+        acc.add_interval(2 * HOUR, 2 * HOUR + 60.0)
+        assert acc.series(3) == [600.0, 0.0, 60.0]
+
+    def test_series_with_start_offset(self):
+        acc = HourlyAccumulator()
+        acc.add_interval(5 * HOUR, 5 * HOUR + 30.0)
+        assert acc.series(2, start_hour=5) == [30.0, 0.0]
+
+    def test_total_sums_everything(self):
+        acc = HourlyAccumulator()
+        acc.add_interval(0.0, 10 * HOUR, weight=0.5)
+        assert acc.total() == pytest.approx(5 * HOUR)
+
+
+class TestPeriodicSampler:
+    def test_samples_on_cadence(self):
+        sim = Simulation()
+        clock = {"n": 0}
+
+        def probe():
+            clock["n"] += 1
+            return clock["n"]
+
+        sampler = PeriodicSampler(sim, probe, interval=10.0)
+        sampler.start()
+        sim.run(until=35.0)
+        assert sampler.samples == [(10.0, 1), (20.0, 2), (30.0, 3)]
+        assert sampler.values() == [1, 2, 3]
+        assert sampler.times() == [10.0, 20.0, 30.0]
+
+    def test_window_selects_half_open_range(self):
+        sim = Simulation()
+        sampler = PeriodicSampler(sim, lambda: 7, interval=10.0)
+        sampler.start()
+        sim.run(until=50.0)
+        assert sampler.window(20.0, 40.0) == [(20.0, 7), (30.0, 7)]
+
+    def test_start_is_idempotent(self):
+        sim = Simulation()
+        sampler = PeriodicSampler(sim, lambda: 1, interval=10.0)
+        sampler.start()
+        sampler.start()
+        sim.run(until=25.0)
+        assert len(sampler.samples) == 2
+
+    def test_interval_validated(self):
+        with pytest.raises(SimulationError):
+            PeriodicSampler(Simulation(), lambda: 0, interval=0)

@@ -1,0 +1,69 @@
+"""Tests for the cluster utilisation monitor."""
+
+import pytest
+
+from repro.machine import OWNER, REMOTE_JOB, SYSCALL, Workstation
+from repro.metrics import UtilizationMonitor
+from repro.sim import HOUR, Simulation
+
+
+def make_cluster(sim, n=2):
+    stations = [Workstation(sim, f"ws-{i}") for i in range(n)]
+    return stations, UtilizationMonitor(stations)
+
+
+def test_local_series_tracks_owner_time():
+    sim = Simulation()
+    stations, monitor = make_cluster(sim, n=2)
+    stations[0].ledger.start(OWNER)
+    sim.schedule(HOUR, lambda: None)
+    sim.run()
+    stations[0].ledger.stop(OWNER)
+    # One of two stations busy for the full first hour -> 50%.
+    assert monitor.local_series(1) == [pytest.approx(0.5)]
+
+
+def test_system_series_adds_remote():
+    sim = Simulation()
+    stations, monitor = make_cluster(sim, n=2)
+    stations[0].ledger.start(OWNER)
+    stations[1].ledger.start(REMOTE_JOB)
+    sim.schedule(HOUR, lambda: None)
+    sim.run()
+    for station, cat in zip(stations, (OWNER, REMOTE_JOB)):
+        station.ledger.stop(cat)
+    assert monitor.system_series(1) == [pytest.approx(1.0)]
+    assert monitor.local_series(1) == [pytest.approx(0.5)]
+
+
+def test_support_not_in_system_series():
+    sim = Simulation()
+    stations, monitor = make_cluster(sim, n=1)
+    stations[0].ledger.add_load(SYSCALL, 0.0, HOUR, 0.5)
+    assert monitor.system_series(1) == [0.0]
+    assert monitor.support_hours() == pytest.approx(0.5)
+
+
+def test_scalar_hours():
+    sim = Simulation()
+    stations, monitor = make_cluster(sim, n=2)
+    stations[0].ledger.start(OWNER)
+    stations[1].ledger.start(REMOTE_JOB)
+    sim.schedule(3 * HOUR, lambda: None)
+    sim.run()
+    stations[0].ledger.stop(OWNER)
+    stations[1].ledger.stop(REMOTE_JOB)
+    horizon = 3 * HOUR
+    assert monitor.local_hours() == pytest.approx(3.0)
+    assert monitor.remote_hours() == pytest.approx(3.0)
+    # 2 stations x 3 h = 6 h capacity; 3 h eaten by owners.
+    assert monitor.available_hours(horizon) == pytest.approx(3.0)
+    assert monitor.average_local_utilization(horizon) == pytest.approx(0.5)
+
+
+def test_fraction_series_grouping():
+    sim = Simulation()
+    stations, monitor = make_cluster(sim, n=1)
+    stations[0].ledger.add_load(SYSCALL, 0.0, HOUR, 0.2)
+    series = monitor.fraction_series(("support",), 1)
+    assert series == [pytest.approx(0.2)]

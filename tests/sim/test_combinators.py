@@ -1,0 +1,76 @@
+"""Tests for all_of / any_of signal combinators."""
+
+from repro.sim import Signal, Simulation, all_of, any_of
+
+
+def test_all_of_waits_for_every_signal():
+    sim = Simulation()
+    a, b, c = Signal("a"), Signal("b"), Signal("c")
+    seen = []
+    all_of([a, b, c]).add_waiter(lambda values: seen.append((sim.now, values)))
+    sim.schedule(1.0, a.fire, "A")
+    sim.schedule(3.0, c.fire, "C")
+    sim.schedule(2.0, b.fire, "B")
+    sim.run()
+    assert seen == [(3.0, ["A", "B", "C"])]
+
+
+def test_all_of_empty_fires_immediately():
+    seen = []
+    all_of([]).add_waiter(seen.append)
+    assert seen == [[]]
+
+
+def test_all_of_with_already_fired_inputs():
+    a = Signal()
+    a.fire(1)
+    b = Signal()
+    seen = []
+    all_of([a, b]).add_waiter(seen.append)
+    assert seen == []
+    b.fire(2)
+    assert seen == [[1, 2]]
+
+
+def test_any_of_fires_on_first():
+    sim = Simulation()
+    a, b = Signal("a"), Signal("b")
+    seen = []
+    any_of([a, b]).add_waiter(seen.append)
+    sim.schedule(2.0, b.fire, "B")
+    sim.schedule(5.0, a.fire, "A")
+    sim.run()
+    assert seen == [(1, "B")]
+
+
+def test_any_of_ignores_later_signals():
+    a, b = Signal(), Signal()
+    seen = []
+    any_of([a, b]).add_waiter(seen.append)
+    a.fire("first")
+    b.fire("second")
+    assert seen == [(0, "first")]
+
+
+def test_any_of_with_prefired_input():
+    a = Signal()
+    a.fire("early")
+    seen = []
+    any_of([a, Signal()]).add_waiter(seen.append)
+    assert seen == [(0, "early")]
+
+
+def test_process_can_wait_on_combinator():
+    sim = Simulation()
+    a, b = Signal(), Signal()
+    seen = []
+
+    def waiter():
+        values = yield all_of([a, b])
+        seen.append((sim.now, values))
+
+    sim.spawn(waiter())
+    sim.schedule(4.0, a.fire, 1)
+    sim.schedule(6.0, b.fire, 2)
+    sim.run()
+    assert seen == [(6.0, [1, 2])]

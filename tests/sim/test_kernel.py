@@ -1,0 +1,179 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import Simulation, SimulationError
+
+
+def test_clock_starts_at_zero():
+    sim = Simulation()
+    assert sim.now == 0.0
+
+
+def test_clock_custom_start():
+    sim = Simulation(start_time=100.0)
+    assert sim.now == 100.0
+
+
+def test_schedule_and_run_advances_clock():
+    sim = Simulation()
+    seen = []
+    sim.schedule(5.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [5.0]
+    assert sim.now == 5.0
+
+
+def test_events_fire_in_time_order():
+    sim = Simulation()
+    seen = []
+    sim.schedule(3.0, seen.append, "c")
+    sim.schedule(1.0, seen.append, "a")
+    sim.schedule(2.0, seen.append, "b")
+    sim.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_fifo():
+    sim = Simulation()
+    seen = []
+    for tag in "abcde":
+        sim.schedule(1.0, seen.append, tag)
+    sim.run()
+    assert seen == list("abcde")
+
+
+def test_zero_delay_event_runs_after_current_instant_queue():
+    sim = Simulation()
+    seen = []
+
+    def first():
+        seen.append("first")
+        sim.schedule(0.0, seen.append, "nested")
+
+    sim.schedule(1.0, first)
+    sim.schedule(1.0, seen.append, "second")
+    sim.run()
+    assert seen == ["first", "second", "nested"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulation()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_in_past_rejected():
+    sim = Simulation(start_time=10.0)
+    with pytest.raises(SimulationError):
+        sim.schedule_at(5.0, lambda: None)
+
+
+def test_cancel_prevents_callback():
+    sim = Simulation()
+    seen = []
+    handle = sim.schedule(1.0, seen.append, "x")
+    assert handle.cancel() is True
+    sim.run()
+    assert seen == []
+
+
+def test_cancel_is_idempotent():
+    sim = Simulation()
+    handle = sim.schedule(1.0, lambda: None)
+    assert handle.cancel() is True
+    assert handle.cancel() is False
+
+
+def test_cancel_after_fire_returns_false():
+    sim = Simulation()
+    handle = sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert handle.cancel() is False
+
+
+def test_run_until_stops_clock_exactly():
+    sim = Simulation()
+    seen = []
+    sim.schedule(10.0, seen.append, "late")
+    sim.run(until=7.0)
+    assert seen == []
+    assert sim.now == 7.0
+    sim.run(until=12.0)
+    assert seen == ["late"]
+    assert sim.now == 12.0
+
+
+def test_run_until_in_past_rejected():
+    sim = Simulation(start_time=50.0)
+    with pytest.raises(SimulationError):
+        sim.run(until=10.0)
+
+
+def test_event_at_exact_until_boundary_fires():
+    sim = Simulation()
+    seen = []
+    sim.schedule(5.0, seen.append, "edge")
+    sim.run(until=5.0)
+    assert seen == ["edge"]
+
+
+def test_step_returns_false_when_empty():
+    sim = Simulation()
+    assert sim.step() is False
+
+
+def test_step_skips_cancelled_events():
+    sim = Simulation()
+    seen = []
+    sim.schedule(1.0, seen.append, "a").cancel()
+    sim.schedule(2.0, seen.append, "b")
+    assert sim.step() is True
+    assert seen == ["b"]
+
+
+def test_peek_reports_next_pending_time():
+    sim = Simulation()
+    first = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.peek() == 1.0
+    first.cancel()
+    assert sim.peek() == 2.0
+
+
+def test_peek_empty_is_none():
+    assert Simulation().peek() is None
+
+
+def test_events_dispatched_counter():
+    sim = Simulation()
+    for _ in range(4):
+        sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.events_dispatched == 4
+
+
+def test_callback_can_schedule_more_events():
+    sim = Simulation()
+    seen = []
+
+    def chain(n):
+        seen.append(n)
+        if n < 3:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert seen == [0, 1, 2, 3]
+    assert sim.now == 3.0
+
+
+def test_reentrant_run_rejected():
+    sim = Simulation()
+
+    def bad():
+        sim.run()
+
+    sim.schedule(1.0, bad)
+    with pytest.raises(SimulationError):
+        sim.run()

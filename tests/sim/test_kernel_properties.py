@@ -1,0 +1,93 @@
+"""Hypothesis property tests for the kernel's core guarantees."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulation
+
+
+@given(delays=st.lists(st.floats(0.0, 1000.0), min_size=1, max_size=60))
+@settings(max_examples=80, deadline=None)
+def test_events_always_fire_in_nondecreasing_time_order(delays):
+    sim = Simulation()
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, lambda d=delay: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@given(delays=st.lists(st.floats(0.0, 100.0), min_size=2, max_size=40),
+       cancel_mask=st.lists(st.booleans(), min_size=2, max_size=40))
+@settings(max_examples=80, deadline=None)
+def test_cancelled_events_never_fire_others_unaffected(delays, cancel_mask):
+    sim = Simulation()
+    fired = []
+    handles = []
+    for i, delay in enumerate(delays):
+        handles.append(sim.schedule(delay, fired.append, i))
+    cancelled = set()
+    for i, (handle, cancel) in enumerate(zip(handles, cancel_mask)):
+        if cancel:
+            handle.cancel()
+            cancelled.add(i)
+    sim.run()
+    assert set(fired) == set(range(len(delays))) - cancelled
+
+
+@given(st.data())
+@settings(max_examples=50, deadline=None)
+def test_nested_scheduling_respects_time(data):
+    """Events scheduled from within callbacks still fire in time order."""
+    sim = Simulation()
+    trace = []
+
+    def spawn_children(depth):
+        trace.append(sim.now)
+        if depth > 0:
+            n = data.draw(st.integers(0, 3))
+            for _ in range(n):
+                delay = data.draw(st.floats(0.0, 10.0))
+                sim.schedule(delay, spawn_children, depth - 1)
+
+    sim.schedule(0.0, spawn_children, 3)
+    sim.run()
+    assert trace == sorted(trace)
+
+
+@given(periods=st.lists(st.floats(0.5, 10.0), min_size=1, max_size=8))
+@settings(max_examples=50, deadline=None)
+def test_processes_tick_exact_counts(periods):
+    sim = Simulation()
+    counts = [0] * len(periods)
+
+    def ticker(index, period):
+        while True:
+            yield period
+            counts[index] += 1
+
+    for i, period in enumerate(periods):
+        sim.spawn(ticker(i, period))
+    horizon = 100.0
+    sim.run(until=horizon)
+    for period, count in zip(periods, counts):
+        assert count == int(horizon / period) or \
+            abs(count - horizon / period) < 1.0 + 1e-9
+
+
+@given(seed=st.integers(0, 10**6))
+@settings(max_examples=30, deadline=None)
+def test_dispatch_counter_matches_fired_events(seed):
+    import random
+    rng = random.Random(seed)
+    sim = Simulation()
+    n = rng.randint(1, 50)
+    cancelled = 0
+    for _ in range(n):
+        handle = sim.schedule(rng.uniform(0, 10), lambda: None)
+        if rng.random() < 0.3:
+            handle.cancel()
+            cancelled += 1
+    sim.run()
+    assert sim.events_dispatched == n - cancelled

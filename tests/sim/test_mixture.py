@@ -1,0 +1,48 @@
+"""Tests for the Mixture distribution."""
+
+import pytest
+
+from repro.sim import Constant, Exponential, Mixture, RandomStream, SimulationError, Uniform
+
+
+def test_mean_is_weighted():
+    mix = Mixture([(0.25, Constant(0.0)), (0.75, Constant(4.0))])
+    assert mix.mean() == pytest.approx(3.0)
+
+
+def test_samples_come_from_branches():
+    mix = Mixture([(0.5, Constant(1.0)), (0.5, Constant(9.0))])
+    stream = RandomStream(1)
+    values = {mix.sample(stream) for _ in range(200)}
+    assert values == {1.0, 9.0}
+
+
+def test_branch_proportions():
+    mix = Mixture([(0.8, Constant(1.0)), (0.2, Constant(9.0))])
+    stream = RandomStream(2)
+    draws = [mix.sample(stream) for _ in range(5000)]
+    share = draws.count(9.0) / len(draws)
+    assert share == pytest.approx(0.2, abs=0.02)
+
+
+def test_empirical_mean():
+    mix = Mixture([(0.45, Uniform(30.0, 240.0)),
+                   (0.55, Exponential(5100.0))])
+    stream = RandomStream(3)
+    values = [mix.sample(stream) for _ in range(20000)]
+    assert sum(values) / len(values) == pytest.approx(mix.mean(), rel=0.05)
+
+
+def test_probabilities_must_sum_to_one():
+    with pytest.raises(SimulationError):
+        Mixture([(0.5, Constant(1.0)), (0.4, Constant(2.0))])
+
+
+def test_needs_branches():
+    with pytest.raises(SimulationError):
+        Mixture([])
+
+
+def test_negative_probability_rejected():
+    with pytest.raises(SimulationError):
+        Mixture([(1.5, Constant(1.0)), (-0.5, Constant(2.0))])

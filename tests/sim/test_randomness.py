@@ -1,0 +1,162 @@
+"""Tests for seeded streams and distributions, incl. hypothesis properties."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import (
+    Bernoulli,
+    BoundedPareto,
+    Constant,
+    DiscreteChoice,
+    Erlang,
+    Exponential,
+    Hyperexponential,
+    LogNormal,
+    RandomStream,
+    Shifted,
+    SimulationError,
+    Uniform,
+    fit_hyperexponential,
+)
+
+
+def sample_many(dist, n=20000, seed=1):
+    stream = RandomStream(seed, "test")
+    return [dist.sample(stream) for _ in range(n)]
+
+
+class TestRandomStream:
+    def test_same_seed_same_sequence(self):
+        a = RandomStream(42)
+        b = RandomStream(42)
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        a = RandomStream(1)
+        b = RandomStream(2)
+        assert [a.random() for _ in range(10)] != [b.random() for _ in range(10)]
+
+    def test_fork_is_stable(self):
+        a = RandomStream(42).fork("owner")
+        b = RandomStream(42).fork("owner")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_forks_are_independent_by_name(self):
+        a = RandomStream(42).fork("owner")
+        b = RandomStream(42).fork("demand")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_nested_fork_paths(self):
+        root = RandomStream(7)
+        x = root.fork("station-1").fork("owner")
+        y = root.fork("station-1/owner")
+        # Path composition must match, making fork layout refactors safe.
+        assert [x.random() for _ in range(3)] == [y.random() for _ in range(3)]
+
+
+class TestDistributionMeans:
+    @pytest.mark.parametrize("dist,tol", [
+        (Constant(5.0), 0.0),
+        (Uniform(2.0, 8.0), 0.1),
+        (Exponential(10.0), 0.4),
+        (Erlang(3, 9.0), 0.3),
+        (Hyperexponential([(0.7, 2.0), (0.3, 20.0)]), 0.5),
+        (LogNormal(5.0, 1.0), 0.5),
+        (Bernoulli(0.3), 0.02),
+        (DiscreteChoice([(1.0, 1), (3.0, 1)]), 0.1),
+        (Shifted(Exponential(4.0), 2.0), 0.3),
+        (BoundedPareto(1.5, 1.0, 100.0), 0.3),
+    ])
+    def test_empirical_mean_matches_theoretical(self, dist, tol):
+        values = sample_many(dist)
+        empirical = sum(values) / len(values)
+        assert empirical == pytest.approx(dist.mean(), abs=tol + 0.05 * dist.mean())
+
+    def test_all_samples_nonnegative(self):
+        for dist in [Exponential(1.0), Hyperexponential([(0.5, 1.0), (0.5, 9.0)]),
+                     Uniform(0, 5), Erlang(2, 4.0), LogNormal(2.0, 0.5)]:
+            assert all(v >= 0 for v in sample_many(dist, n=2000))
+
+
+class TestValidation:
+    def test_exponential_requires_positive_mean(self):
+        with pytest.raises(SimulationError):
+            Exponential(0)
+
+    def test_hyperexponential_probs_must_sum_to_one(self):
+        with pytest.raises(SimulationError):
+            Hyperexponential([(0.5, 1.0), (0.4, 2.0)])
+
+    def test_hyperexponential_needs_branches(self):
+        with pytest.raises(SimulationError):
+            Hyperexponential([])
+
+    def test_uniform_ordering(self):
+        with pytest.raises(SimulationError):
+            Uniform(5, 2)
+
+    def test_erlang_integer_k(self):
+        with pytest.raises(SimulationError):
+            Erlang(2.5, 1.0)
+
+    def test_bernoulli_range(self):
+        with pytest.raises(SimulationError):
+            Bernoulli(1.5)
+
+    def test_pareto_bounds(self):
+        with pytest.raises(SimulationError):
+            BoundedPareto(1.0, 5.0, 2.0)
+
+    def test_fit_rejects_cv2_below_one(self):
+        with pytest.raises(SimulationError):
+            fit_hyperexponential(5.0, 0.5)
+
+
+class TestFitHyperexponential:
+    @given(mean=st.floats(0.5, 100.0), cv2=st.floats(1.01, 25.0))
+    @settings(max_examples=50, deadline=None)
+    def test_fit_matches_requested_moments(self, mean, cv2):
+        dist = fit_hyperexponential(mean, cv2)
+        assert dist.mean() == pytest.approx(mean, rel=1e-6)
+        assert dist.cv2() == pytest.approx(cv2, rel=1e-6)
+
+    def test_fit_cv2_one_gives_exponential(self):
+        dist = fit_hyperexponential(5.0, 1.0)
+        assert isinstance(dist, Exponential)
+
+    def test_fitted_distribution_median_below_mean(self):
+        # The paper: demand mean 5 h but median under 3 h — heavy tails
+        # push the median well below the mean.
+        dist = fit_hyperexponential(5.0, 4.0)
+        values = sorted(sample_many(dist))
+        median = values[len(values) // 2]
+        assert median < 3.0
+
+
+class TestHypothesisProperties:
+    @given(seed=st.integers(0, 2**32), name=st.text(min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_fork_determinism_property(self, seed, name):
+        a = RandomStream(seed).fork(name)
+        b = RandomStream(seed).fork(name)
+        assert a.random() == b.random()
+
+    @given(st.lists(st.tuples(st.floats(0.1, 10.0), st.floats(0.1, 50.0)),
+                    min_size=1, max_size=4))
+    @settings(max_examples=50, deadline=None)
+    def test_hyperexponential_mean_is_weighted_average(self, raw):
+        total = sum(p for p, _ in raw)
+        branches = [(p / total, m) for p, m in raw]
+        dist = Hyperexponential(branches)
+        expected = sum(p * m for p, m in branches)
+        assert dist.mean() == pytest.approx(expected, rel=1e-9)
+
+    @given(st.floats(0.1, 1000.0))
+    @settings(max_examples=50, deadline=None)
+    def test_constant_always_returns_value(self, value):
+        stream = RandomStream(0)
+        dist = Constant(value)
+        assert all(dist.sample(stream) == value for _ in range(5))

@@ -1,0 +1,67 @@
+"""Tests for the repro-condor command line."""
+
+import json
+
+import pytest
+
+from repro.cli import ABLATIONS, build_parser, main
+
+
+def test_parser_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_month_subcommand_prints_exhibit(capsys):
+    rc = main(["month", "--days", "2", "--scale", "0.03",
+               "--exhibit", "headline_scalars"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "Headline scalars" in out
+    assert "hours consumed by Condor" in out
+
+
+def test_ablation_subcommand(capsys):
+    rc = main(["ablation", "updown", "fcfs", "--days", "2"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "updown" in out and "fcfs" in out
+    assert "light wait" in out
+
+
+def test_trace_subcommand_writes_json(tmp_path, capsys):
+    path = tmp_path / "trace.json"
+    rc = main(["trace", str(path), "--days", "2", "--scale", "0.03"])
+    assert rc == 0
+    records = json.loads(path.read_text())
+    assert records and "demand_seconds" in records[0]
+
+
+def test_demo_subcommand(capsys):
+    rc = main(["demo"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "jobs completed" in out
+
+
+def test_all_named_ablations_resolvable():
+    for name, (kind, factory) in ABLATIONS.items():
+        assert kind in ("policy", "config")
+        assert factory() is not None
+
+
+def test_stations_subcommand(capsys):
+    rc = main(["stations", "--days", "2", "--scale", "0.03"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "Per-station accounting" in out
+    assert "TOTAL" in out
+
+
+def test_month_csv_export(tmp_path, capsys):
+    rc = main(["month", "--days", "2", "--scale", "0.03",
+               "--exhibit", "table_1", "--csv", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "CSV files" in out
+    assert (tmp_path / "table_1.csv").exists()

@@ -1,0 +1,135 @@
+"""Tests for cluster construction and trace export/replay."""
+
+import pytest
+
+from repro.core import CondorSystem, StationSpec
+from repro.core.job import Job
+from repro.machine import AlwaysActiveOwner, DiurnalOwner, NeverActiveOwner
+from repro.sim import DAY, HOUR, RandomStream, Simulation, SimulationError
+from repro.workload import (
+    TraceReplayer,
+    build_cluster_specs,
+    default_user_homes,
+    dump_trace,
+    export_trace,
+    load_trace,
+    record_to_job,
+    station_name,
+)
+
+
+class TestCluster:
+    def test_paper_sized_cluster(self):
+        specs = build_cluster_specs(RandomStream(1))
+        assert len(specs) == 23
+        assert specs[0].name == "ws-01"
+        assert all(isinstance(s.owner_model, DiurnalOwner) for s in specs)
+
+    def test_names_are_stable(self):
+        assert station_name(0) == "ws-01"
+        assert station_name(22) == "ws-23"
+
+    def test_deterministic_given_seed(self):
+        a = build_cluster_specs(RandomStream(9), count=5)
+        b = build_cluster_specs(RandomStream(9), count=5)
+        assert [s.owner_model.busyness for s in a] == \
+            [s.owner_model.busyness for s in b]
+
+    def test_prefix_stable_when_count_grows(self):
+        small = build_cluster_specs(RandomStream(9), count=5)
+        large = build_cluster_specs(RandomStream(9), count=10)
+        assert [s.owner_model.busyness for s in small] == \
+            [s.owner_model.busyness for s in large[:5]]
+
+    def test_busyness_heterogeneous(self):
+        specs = build_cluster_specs(RandomStream(2), count=23)
+        values = {s.owner_model.busyness for s in specs}
+        assert len(values) > 1
+
+    def test_count_validated(self):
+        with pytest.raises(SimulationError):
+            build_cluster_specs(RandomStream(1), count=0)
+
+    def test_default_homes(self):
+        specs = build_cluster_specs(RandomStream(1), count=6)
+        homes = default_user_homes(specs)
+        assert homes == {"A": "ws-01", "B": "ws-02", "C": "ws-03",
+                         "D": "ws-04", "E": "ws-05"}
+
+    def test_homes_need_five_stations(self):
+        specs = build_cluster_specs(RandomStream(1), count=3)
+        with pytest.raises(SimulationError):
+            default_user_homes(specs)
+
+
+class TestTraces:
+    def make_submitted_job(self, demand=HOUR, at=100.0):
+        job = Job(user="A", home="ws-home", demand_seconds=demand,
+                  syscall_rate=0.25)
+        job.submitted_at = at
+        return job
+
+    def test_roundtrip_preserves_inputs(self):
+        job = self.make_submitted_job()
+        records = export_trace([job])
+        clone = record_to_job(records[0])
+        assert clone.user == job.user
+        assert clone.demand_seconds == job.demand_seconds
+        assert clone.syscall_rate == job.syscall_rate
+        assert clone.image_mb() == pytest.approx(job.image_mb())
+
+    def test_export_sorted_by_submit_time(self):
+        late = self.make_submitted_job(at=500.0)
+        early = self.make_submitted_job(at=10.0)
+        records = export_trace([late, early])
+        assert [r["submitted_at"] for r in records] == [10.0, 500.0]
+
+    def test_unsubmitted_job_rejected(self):
+        job = Job(user="A", home="ws", demand_seconds=HOUR)
+        with pytest.raises(SimulationError):
+            export_trace([job])
+
+    def test_json_file_roundtrip(self, tmp_path):
+        jobs = [self.make_submitted_job(at=float(t)) for t in (5, 50)]
+        path = tmp_path / "trace.json"
+        dump_trace(jobs, path)
+        records = load_trace(path)
+        assert len(records) == 2
+        assert records[0]["submitted_at"] == 5.0
+
+    def test_replayer_submits_at_recorded_times(self):
+        jobs = [self.make_submitted_job(at=200.0),
+                self.make_submitted_job(at=900.0)]
+        records = export_trace(jobs)
+
+        sim = Simulation()
+        specs = [StationSpec("ws-home", owner_model=AlwaysActiveOwner()),
+                 StationSpec("ws-h0", owner_model=NeverActiveOwner())]
+        system = CondorSystem(sim, specs)
+        replayer = TraceReplayer(sim, system, records)
+        system.start()
+        replayer.start()
+        sim.run(until=DAY)
+        assert len(replayer.jobs) == 2
+        assert [j.submitted_at for j in replayer.jobs] == [200.0, 900.0]
+        assert all(job.finished for job in replayer.jobs)
+
+    def test_replay_reproduces_workload_for_ablations(self):
+        # Same trace into two systems -> identical demand sequences.
+        jobs = [self.make_submitted_job(at=float(i * 100 + 10),
+                                        demand=HOUR * (1 + i))
+                for i in range(3)]
+        records = export_trace(jobs)
+        demands = []
+        for _ in range(2):
+            sim = Simulation()
+            specs = [StationSpec("ws-home",
+                                 owner_model=AlwaysActiveOwner()),
+                     StationSpec("ws-h0", owner_model=NeverActiveOwner())]
+            system = CondorSystem(sim, specs)
+            replayer = TraceReplayer(sim, system, records)
+            system.start()
+            replayer.start()
+            sim.run(until=DAY)
+            demands.append([j.demand_seconds for j in replayer.jobs])
+        assert demands[0] == demands[1]
