@@ -1,8 +1,11 @@
 """Microbenchmarks of the simulation substrate itself."""
 
+import pytest
+
 from repro.net import Network, Node
 from repro.sim import RandomStream, Simulation
 from repro.sim.randomness import Exponential
+from repro.telemetry import TelemetryHub, kinds
 
 
 def test_event_dispatch_throughput(benchmark):
@@ -56,6 +59,25 @@ def test_rpc_roundtrip_throughput(benchmark):
         return len(answers)
 
     assert benchmark(run) == 1000
+
+
+@pytest.mark.parametrize("subscribers", [0, 1, 5])
+def test_telemetry_emit_throughput(benchmark, subscribers):
+    """Telemetry hub emissions per round (50k events) as subscriber
+    count grows — the per-event cost the month simulation pays."""
+    hub = TelemetryHub()
+    sink = []
+    for _ in range(subscribers):
+        hub.subscribe(kinds.JOB_PLACED, lambda event: sink.append(event.seq))
+
+    def run():
+        sink.clear()
+        for _ in range(50_000):
+            hub.emit(kinds.JOB_PLACED, source="ws-1", job=None, host="ws-1")
+        return hub.events_emitted
+
+    assert benchmark(run) >= 50_000
+    assert len(sink) == 50_000 * subscribers
 
 
 def test_distribution_sampling_throughput(benchmark):

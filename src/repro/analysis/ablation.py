@@ -48,7 +48,8 @@ class ReplayRun:
         self.system = CondorSystem(self.sim, self.specs, config=self.config,
                                    policy=policy)
         self.replayer = TraceReplayer(self.sim, self.system, records)
-        self.util = UtilizationMonitor(self.system.stations.values())
+        self.util = UtilizationMonitor(self.system.stations.values(),
+                                       hub=self.system.telemetry)
         users = {record["user"] for record in records}
         self.light_users = frozenset(users - {HEAVY_USER})
         self.queues = QueueLengthMonitor(self.sim, self.system,

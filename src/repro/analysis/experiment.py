@@ -14,6 +14,7 @@ from repro.metrics.queues import QueueLengthMonitor
 from repro.metrics.utilization import UtilizationMonitor
 from repro.sim import DAY, Simulation
 from repro.sim.randomness import RandomStream
+from repro.telemetry import TraceRecorder
 from repro.workload.cluster import build_cluster_specs, default_user_homes
 from repro.workload.generator import WorkloadGenerator
 from repro.workload.users import paper_profiles
@@ -25,7 +26,7 @@ class ExperimentRun:
     def __init__(self, seed=42, days=paper.OBSERVATION_DAYS,
                  stations=paper.STATIONS, config=None, policy=None,
                  job_scale=1.0, disk_mb=None, profiles=None,
-                 busyness_mix=None, network=None):
+                 busyness_mix=None, network=None, trace_path=None):
         self.seed = seed
         self.days = days
         self.horizon = days * DAY
@@ -56,9 +57,18 @@ class ExperimentRun:
             self.sim, self.system, self.profiles,
             self.stream.fork("workload"), horizon=self.horizon,
         )
-        self.util = UtilizationMonitor(self.system.stations.values())
+        #: The system's telemetry spine and metric instruments.
+        self.telemetry = self.system.telemetry
+        self.metrics = self.system.metrics
+        self.trace_path = trace_path
+        self._recorder = (TraceRecorder(self.telemetry, trace_path)
+                          if trace_path else None)
+        self.util = UtilizationMonitor(
+            self.system.stations.values(), hub=self.telemetry
+        )
         self.queues = QueueLengthMonitor(
-            self.sim, self.system, self.generator.light_user_names()
+            self.sim, self.system, self.generator.light_user_names(),
+            registry=self.metrics,
         )
         self.executed = False
 
@@ -71,6 +81,8 @@ class ExperimentRun:
         self.queues.start()
         self.sim.run(until=self.horizon)
         self.system.finalize()
+        if self._recorder is not None:
+            self._recorder.close()
         self.executed = True
         return self
 

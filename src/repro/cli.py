@@ -2,9 +2,12 @@
 
 Subcommands:
 
-* ``month``    — run the paper's one-month experiment and print exhibits;
+* ``month``    — run the paper's one-month experiment and print exhibits
+  (``--trace FILE`` also records the full telemetry event stream);
 * ``ablation`` — replay a fixed workload under scheduler variants;
 * ``trace``    — run the month and export its workload as a JSON trace;
+* ``replay``   — reconstruct a run's headline metrics from a telemetry
+  trace alone, without re-simulating;
 * ``demo``     — a one-minute, five-station narrated demo.
 """
 
@@ -35,7 +38,11 @@ ABLATIONS = {
 
 def _cmd_month(args):
     start = time.time()
-    run = run_month(seed=args.seed, days=args.days, job_scale=args.scale)
+    run = run_month(seed=args.seed, days=args.days, job_scale=args.scale,
+                    trace_path=args.trace)
+    if args.trace:
+        print(f"# recorded {run.telemetry.events_emitted:,} telemetry "
+              f"events to {args.trace}")
     if args.csv:
         from repro.analysis.export import export_csvs
 
@@ -92,8 +99,46 @@ def _cmd_stations(args):
     return 0
 
 
+def _cmd_replay(args):
+    import json
+
+    from repro.sim import SimulationError
+    from repro.telemetry import replay_trace
+
+    try:
+        summary = replay_trace(args.trace_file)
+    except (OSError, SimulationError, json.JSONDecodeError) as exc:
+        print(f"error: cannot replay {args.trace_file}: {exc}",
+              file=sys.stderr)
+        return 2
+    head = summary.headline()
+    print(f"# replayed {head['events']:,} events from {args.trace_file} "
+          f"({head['end_time_days']:.1f} simulated days)\n")
+    print(render_table(
+        ["metric", "value"],
+        [
+            ("jobs submitted", head["jobs_submitted"]),
+            ("jobs completed", head["jobs_completed"]),
+            ("checkpoints taken", head["checkpoints"]),
+            ("total demand (h)", head["total_demand_hours"]),
+            ("hours consumed by Condor", head["remote_hours"]),
+            ("hours of owner activity", head["local_hours"]),
+            ("support hours (placement+ckpt+syscall)",
+             head["support_hours"]),
+        ],
+        title="Headline metrics reconstructed from the trace",
+    ))
+    print()
+    counts = sorted(summary.event_counts.items())
+    print(render_table(
+        ["event kind", "count"], counts, title="Event counts",
+    ))
+    return 0
+
+
 def _cmd_demo(args):
     from repro.core import CondorSystem, Job, StationSpec, events
+    from repro.telemetry import TraceRecorder
     from repro.machine import (
         AlternatingOwner,
         AlwaysActiveOwner,
@@ -114,6 +159,8 @@ def _cmd_demo(args):
         for i in range(3)
     ]
     system = CondorSystem(sim, specs, coordinator_host="submit-box")
+    recorder = (TraceRecorder(system.telemetry, args.trace)
+                if args.trace else None)
     for name in (events.JOB_PLACED, events.JOB_SUSPENDED,
                  events.JOB_VACATED, events.JOB_COMPLETED):
         system.bus.subscribe(name, lambda event=name, **kw: print(
@@ -126,6 +173,10 @@ def _cmd_demo(args):
     for job in jobs:
         system.submit(job)
     system.run(until=2 * DAY)
+    if recorder is not None:
+        recorder.close()
+        print(f"# recorded {recorder.events_written:,} telemetry events "
+              f"to {args.trace}")
     done = [j for j in jobs if j.finished]
     print(f"\n{len(done)}/{len(jobs)} jobs completed; total leverage "
           f"{sum(j.remote_cpu_seconds for j in done) / max(1e-9, sum(j.total_support_seconds for j in done)):.0f}")
@@ -146,6 +197,8 @@ def build_parser():
     month.add_argument("--exhibit", choices=sorted(ALL_EXHIBITS))
     month.add_argument("--csv", metavar="DIR",
                        help="also export every exhibit as CSV files")
+    month.add_argument("--trace", metavar="FILE",
+                       help="record the telemetry event stream as JSONL")
     month.set_defaults(fn=_cmd_month)
 
     ablation = sub.add_parser("ablation",
@@ -170,7 +223,16 @@ def build_parser():
     stations.add_argument("--scale", type=float, default=1.0)
     stations.set_defaults(fn=_cmd_stations)
 
+    replay = sub.add_parser(
+        "replay",
+        help="reconstruct headline metrics from a telemetry trace",
+    )
+    replay.add_argument("trace_file")
+    replay.set_defaults(fn=_cmd_replay)
+
     demo = sub.add_parser("demo", help="narrated five-station demo")
+    demo.add_argument("--trace", metavar="FILE",
+                      help="record the telemetry event stream as JSONL")
     demo.set_defaults(fn=_cmd_demo)
     return parser
 

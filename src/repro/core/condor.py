@@ -53,6 +53,12 @@ class CondorSystem:
         self.sim = sim
         self.config = config or CondorConfig()
         self.bus = bus or EventBus()
+        #: The run's telemetry spine: every lifecycle event and ledger
+        #: entry flows through it; trace recorders subscribe here.
+        self.telemetry = self.bus.hub
+        self.telemetry.bind_clock(lambda: sim.now)
+        #: The run's metric instruments (counters/gauges/histograms).
+        self.metrics = self.telemetry.metrics
         self.network = network or Network(sim)
         self.policy = policy or UpDownPolicy()
 
@@ -64,6 +70,7 @@ class CondorSystem:
             if spec.disk_mb is not None:
                 kwargs["disk_mb"] = spec.disk_mb
             station = Workstation(sim, spec.name, **kwargs)
+            station.ledger.attach_hub(self.telemetry)
             self.stations[spec.name] = station
             self.schedulers[spec.name] = LocalScheduler(
                 sim, self.network, station, self.bus, self.config

@@ -12,6 +12,8 @@ state, only allocation bookkeeping, so its failure stops new allocations
 but affects nothing already running, and it can be restarted anywhere.
 """
 
+import time as _wallclock
+
 from repro.core import events as ev
 from repro.machine.accounting import COORDINATOR
 from repro.net import Node
@@ -132,6 +134,7 @@ class Coordinator(Node):
     # allocation
 
     def _allocate(self, poll):
+        cycle_started = _wallclock.perf_counter()
         self.cycles += 1
         now = self.sim.now
         dt = (now - self._last_update_at if self._last_update_at is not None
@@ -177,6 +180,17 @@ class Coordinator(Node):
             grants=grants, preemptions=preemptions,
             gang_grants=gang_grants,
             unreachable=sorted(poll.unreachable),
+        )
+        metrics = self.bus.metrics
+        metrics.counter("coordinator.cycles").inc()
+        metrics.counter("coordinator.grants").inc(len(grants))
+        metrics.counter("coordinator.preemptions").inc(len(preemptions))
+        metrics.gauge("coordinator.idle_stations").set(len(idle_hosts))
+        metrics.gauge("coordinator.wanting_stations").set(len(wanting))
+        # Wall-clock cost of one allocation pass; lives in the registry,
+        # never in the (deterministic) trace stream.
+        metrics.histogram("coordinator.cycle_seconds").observe(
+            _wallclock.perf_counter() - cycle_started
         )
 
     def _serve_gangs(self, poll, ranked, idle_hosts):

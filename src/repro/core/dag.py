@@ -38,7 +38,7 @@ class JobDag:
         #: stall rather than run on missing inputs.
         self.refused = []
         self._started = False
-        system.bus.subscribe(ev.JOB_COMPLETED, self._on_completed)
+        system.bus.subscribe_event(ev.JOB_COMPLETED, self._on_completed)
 
     def add(self, job, after=()):
         """Register ``job``, to run after all jobs in ``after``.
@@ -78,7 +78,8 @@ class JobDag:
         except SubmissionRefused:
             self.refused.append(job)
 
-    def _on_completed(self, job, station):
+    def _on_completed(self, event):
+        job = event.payload["job"]
         if job.id not in self._children:
             return
         for child_id in self._children[job.id]:

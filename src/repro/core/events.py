@@ -1,57 +1,118 @@
-"""A tiny publish/subscribe bus decoupling the schedulers from metrics.
+"""Scheduler event names and the :class:`EventBus` compatibility shim.
 
-The daemons publish lifecycle events; the metrics layer (and tests)
-subscribe.  Event names are module constants so typos fail loudly.
+The event vocabulary now lives in :mod:`repro.telemetry.kinds` (shared
+with the live runtime); this module re-exports the scheduler-facing
+names so historical imports (``from repro.core import events as ev``)
+keep working.
+
+:class:`EventBus` is the daemons' publishing surface over the typed
+:class:`~repro.telemetry.TelemetryHub`.  It preserves the original
+string-keyed API — ``publish(name, **payload)`` delivering
+``callback(**payload)`` — while every publication becomes a structured
+:class:`~repro.telemetry.TelemetryEvent` on the hub, where trace
+recorders and metric collectors see it.
 """
 
 from repro.sim.errors import SimulationError
-
-JOB_SUBMITTED = "job_submitted"
-JOB_REFUSED = "job_refused"                  # submit rejected (disk full)
-JOB_PLACED = "job_placed"                    # image arrived, execution began
-JOB_PLACEMENT_FAILED = "job_placement_failed"
-JOB_SUSPENDED = "job_suspended"              # owner returned, grace started
-JOB_RESUMED = "job_resumed"                  # owner left within grace
-JOB_VACATED = "job_vacated"                  # checkpointed back home
-JOB_KILLED = "job_killed"                    # killed without checkpoint
-JOB_PREEMPTED = "job_preempted"              # coordinator priority preemption
-JOB_PERIODIC_CHECKPOINT = "job_periodic_checkpoint"
-JOB_COMPLETED = "job_completed"
-JOB_REMOVED = "job_removed"
-HOST_LOST = "host_lost"                      # hosting station went down
-COORDINATOR_CYCLE = "coordinator_cycle"
-
-ALL_EVENTS = (
-    JOB_SUBMITTED, JOB_REFUSED, JOB_PLACED, JOB_PLACEMENT_FAILED,
-    JOB_SUSPENDED, JOB_RESUMED, JOB_VACATED, JOB_KILLED, JOB_PREEMPTED,
-    JOB_PERIODIC_CHECKPOINT, JOB_COMPLETED, JOB_REMOVED, HOST_LOST,
+from repro.telemetry import TelemetryHub
+from repro.telemetry.kinds import (  # noqa: F401  (re-exported vocabulary)
     COORDINATOR_CYCLE,
+    HOST_LOST,
+    JOB_COMPLETED,
+    JOB_FAILED,
+    JOB_KILLED,
+    JOB_PERIODIC_CHECKPOINT,
+    JOB_PLACED,
+    JOB_PLACEMENT_FAILED,
+    JOB_PREEMPTED,
+    JOB_REFUSED,
+    JOB_REMOVED,
+    JOB_RESUMED,
+    JOB_SUBMITTED,
+    JOB_SUSPENDED,
+    JOB_VACATED,
 )
+from repro.telemetry.kinds import JOB_LIFECYCLE as ALL_EVENTS  # noqa: F401
 
 
 class EventBus:
-    """Synchronous pub/sub keyed by event name."""
+    """Synchronous pub/sub keyed by event name, backed by a hub.
 
-    def __init__(self):
-        self._subscribers = {event: [] for event in ALL_EVENTS}
-        #: Running count per event, handy in tests and reports.
-        self.counts = {event: 0 for event in ALL_EVENTS}
+    Two subscription styles:
+
+    * ``subscribe(name, cb)`` — legacy: ``cb(**payload)``;
+    * ``subscribe_event(name, cb)`` — typed: ``cb(event)`` with the
+      full :class:`~repro.telemetry.TelemetryEvent` record.
+
+    Subscriber exceptions are isolated by the hub: a failing callback is
+    recorded (``bus.errors``) and emitted as a ``telemetry_error`` event
+    instead of aborting the simulation.
+    """
+
+    def __init__(self, hub=None):
+        #: The underlying typed spine (shared with ledgers, recorders).
+        self.hub = hub or TelemetryHub()
+        self._legacy = {}
+
+    # ------------------------------------------------------------------
+    # subscription
 
     def subscribe(self, event, callback):
         """Register ``callback(**payload)`` for ``event``."""
         self._check(event)
-        self._subscribers[event].append(callback)
+
+        def deliver(evt, _callback=callback):
+            _callback(**evt.payload)
+
+        self._legacy.setdefault((event, callback), []).append(deliver)
+        self.hub.subscribe(event, deliver)
+
+    def subscribe_event(self, event, callback):
+        """Register a typed ``callback(event)`` for ``event``."""
+        self._check(event)
+        self.hub.subscribe(event, callback)
+
+    def unsubscribe(self, event, callback):
+        """Remove one registration (either style); returns success."""
+        self._check(event)
+        wrappers = self._legacy.get((event, callback))
+        if wrappers:
+            deliver = wrappers.pop()
+            if not wrappers:
+                del self._legacy[(event, callback)]
+            return self.hub.unsubscribe(event, deliver)
+        return self.hub.unsubscribe(event, callback)
+
+    # ------------------------------------------------------------------
+    # publication
 
     def publish(self, event, **payload):
-        """Deliver ``payload`` to every subscriber of ``event``."""
+        """Emit a typed event; returns the TelemetryEvent record."""
         self._check(event)
-        self.counts[event] += 1
-        for callback in list(self._subscribers[event]):
-            callback(**payload)
+        source = payload.get("station") or payload.get("host") or ""
+        return self.hub.emit(event, source=source, **payload)
 
     def _check(self, event):
-        if event not in self._subscribers:
+        if not self.hub.known_kind(event):
             raise SimulationError(f"unknown event {event!r}")
+
+    # ------------------------------------------------------------------
+    # introspection
+
+    @property
+    def counts(self):
+        """Running count per event kind (includes telemetry kinds)."""
+        return self.hub.counts
+
+    @property
+    def errors(self):
+        """Isolated subscriber failures, in order of occurrence."""
+        return self.hub.errors
+
+    @property
+    def metrics(self):
+        """The run's :class:`~repro.telemetry.MetricsRegistry`."""
+        return self.hub.metrics
 
     def __repr__(self):
         live = {e: c for e, c in self.counts.items() if c}

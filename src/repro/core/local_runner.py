@@ -99,6 +99,7 @@ class LocalRunner:
         self._current = None
         self.completed.append(job)
         if self.bus is not None:
+            self.bus.metrics.counter("local_runner.completed").inc()
             self.bus.publish(ev.JOB_COMPLETED, job=job,
                              station=self.station.name)
         self._maybe_start()

@@ -88,6 +88,8 @@ class LocalScheduler(Node):
         self.boot_epoch = 0
         #: Gangs waiting for a coordinated ``width``-machine launch.
         self.pending_gangs = []
+        #: Placement start times by job id (placement-latency metric).
+        self._placement_started = {}
         self._started = False
 
         net.attach(self)
@@ -242,6 +244,7 @@ class LocalScheduler(Node):
         """Ship the job's image to the host and ask it to start."""
         job.transition(jobstate.PLACING)
         self.active_by_host[host_name] = job
+        self._placement_started[job.id] = self.sim.now
         image_mb = job.image_mb()
         cost = checkpoint_cpu_cost(image_mb)
         self.station.ledger.charge(PLACEMENT, cost)
@@ -284,6 +287,13 @@ class LocalScheduler(Node):
     def _placement_settled(self, job, host_name, outcome):
         status, detail = outcome
         accepted = status == "ok" and detail[0] == "started"
+        started_at = self._placement_started.pop(job.id, None)
+        if accepted and started_at is not None:
+            # Simulated latency from shipping the image to execution
+            # starting on the host (transfer + start RPC).
+            self.bus.metrics.histogram("placement.latency_s").observe(
+                self.sim.now - started_at
+            )
         if accepted:
             return  # the host published JOB_PLACED and is executing it
         if self.active_by_host.get(host_name) is not job:
@@ -314,6 +324,8 @@ class LocalScheduler(Node):
         cost = checkpoint_cpu_cost(image_mb)
         self.station.ledger.charge(CHECKPOINT, cost)
         job.add_support("checkpoint", cost)
+        self.bus.metrics.histogram("checkpoint.image_mb").observe(image_mb)
+        self.bus.metrics.counter("checkpoint.vacate").inc()
         try:
             self.store.store(CheckpointImage(
                 job.id, job.progress, image_mb, self.sim.now,
@@ -380,6 +392,8 @@ class LocalScheduler(Node):
         cost = checkpoint_cpu_cost(image_mb)
         self.station.ledger.charge(CHECKPOINT, cost)
         job.add_support("checkpoint", cost)
+        self.bus.metrics.histogram("checkpoint.image_mb").observe(image_mb)
+        self.bus.metrics.counter("checkpoint.periodic").inc()
         try:
             self.store.store(CheckpointImage(
                 job.id, progress, image_mb, self.sim.now,

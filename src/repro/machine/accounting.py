@@ -9,6 +9,7 @@ occupancy (owner sessions, a remote job executing) and burst charges
 """
 
 from repro.sim.errors import SimulationError
+from repro.telemetry.kinds import LEDGER_ENTRY
 
 # -- capacity categories ------------------------------------------------
 #: CPU used directly by the station's owner.
@@ -53,19 +54,28 @@ class CpuLedger:
       daemon overhead).
 
     Observers (the metrics layer) register ``on_interval(category, t0, t1,
-    fraction)`` callbacks to build utilisation time series.
+    fraction)`` callbacks to build utilisation time series.  When a
+    telemetry hub is attached (:meth:`attach_hub`), every entry is also
+    emitted as a typed ``ledger_entry`` event whose ``booked`` field is
+    the exact seconds added to :attr:`totals` — a trace replayer summing
+    ``booked`` per station reproduces the totals bit-for-bit.
     """
 
-    def __init__(self, sim, station_name=""):
+    def __init__(self, sim, station_name="", hub=None):
         self.sim = sim
         self.station_name = station_name
         self.totals = {category: 0.0 for category in ALL_CATEGORIES}
         self._open = {}
         self._observers = []
+        self.hub = hub
 
     def subscribe(self, callback):
         """Register ``callback(category, t0, t1, fraction)`` for every entry."""
         self._observers.append(callback)
+
+    def attach_hub(self, hub):
+        """Emit every ledger entry as a telemetry event on ``hub``."""
+        self.hub = hub
 
     def start(self, category):
         """Begin an occupancy interval for ``category``."""
@@ -87,7 +97,7 @@ class CpuLedger:
         t1 = self.sim.now
         elapsed = t1 - t0
         self.totals[category] += elapsed
-        self._emit(category, t0, t1, 1.0)
+        self._emit(category, t0, t1, 1.0, booked=elapsed)
         return elapsed
 
     def occupied(self, category):
@@ -104,7 +114,8 @@ class CpuLedger:
         self.totals[category] += seconds
         # Bursts are genuinely short (a few seconds); book them as an
         # interval ending now so time-series observers can bucket them.
-        self._emit(category, max(0.0, self.sim.now - seconds), self.sim.now, 1.0)
+        self._emit(category, max(0.0, self.sim.now - seconds), self.sim.now,
+                   1.0, booked=seconds)
 
     def add_load(self, category, t0, t1, fraction):
         """Book a background load of ``fraction`` CPU over ``[t0, t1]``."""
@@ -114,7 +125,7 @@ class CpuLedger:
         if not 0.0 <= fraction <= 1.0:
             raise SimulationError(f"load fraction must be in [0, 1], got {fraction}")
         self.totals[category] += (t1 - t0) * fraction
-        self._emit(category, t0, t1, fraction)
+        self._emit(category, t0, t1, fraction, booked=(t1 - t0) * fraction)
 
     def close_all(self):
         """Close any open occupancy intervals (end-of-run flush)."""
@@ -135,9 +146,15 @@ class CpuLedger:
         if category not in self.totals:
             raise SimulationError(f"unknown CPU category {category!r}")
 
-    def _emit(self, category, t0, t1, fraction):
+    def _emit(self, category, t0, t1, fraction, booked):
         for observer in self._observers:
             observer(category, t0, t1, fraction)
+        if self.hub is not None:
+            self.hub.emit(
+                LEDGER_ENTRY, source=self.station_name,
+                category=category, t0=t0, t1=t1, fraction=fraction,
+                booked=booked,
+            )
 
     def __repr__(self):
         busy = {c: round(v, 1) for c, v in self.totals.items() if v}

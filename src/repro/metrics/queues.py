@@ -11,18 +11,36 @@ from repro.sim import HOUR
 
 
 class QueueLengthMonitor:
-    """Hourly total and per-user-class queue-length samplers."""
+    """Hourly total and per-user-class queue-length samplers.
 
-    def __init__(self, sim, system, light_users, interval=HOUR):
+    With a :class:`~repro.telemetry.MetricsRegistry`, each sample also
+    updates the ``queue.total`` / ``queue.light`` gauges so dashboards
+    and reports can read queue state without touching the system.
+    """
+
+    def __init__(self, sim, system, light_users, interval=HOUR,
+                 registry=None):
         self.system = system
         self.light_users = frozenset(light_users)
+        self.registry = registry
         self.total = PeriodicSampler(
-            sim, system.queue_length, interval, name="queue.total"
+            sim, self._sample_total, interval, name="queue.total"
         )
         self.light = PeriodicSampler(
-            sim, lambda: system.queue_length(users=self.light_users),
-            interval, name="queue.light",
+            sim, self._sample_light, interval, name="queue.light",
         )
+
+    def _sample_total(self):
+        value = self.system.queue_length()
+        if self.registry is not None:
+            self.registry.gauge("queue.total").set(value)
+        return value
+
+    def _sample_light(self):
+        value = self.system.queue_length(users=self.light_users)
+        if self.registry is not None:
+            self.registry.gauge("queue.light").set(value)
+        return value
 
     def start(self):
         self.total.start()

@@ -23,6 +23,7 @@ from repro.machine.accounting import (
 )
 from repro.metrics.timeseries import HourlyAccumulator
 from repro.sim import HOUR
+from repro.telemetry.kinds import LEDGER_ENTRY
 
 GROUP_OF = {
     OWNER: "local",
@@ -39,13 +40,31 @@ GROUPS = ("local", "remote", "support", "daemon")
 
 
 class UtilizationMonitor:
-    """Integrates every ledger entry of a set of stations by hour."""
+    """Integrates every ledger entry of a set of stations by hour.
 
-    def __init__(self, stations):
+    Two attachment modes: given a telemetry ``hub``, it subscribes to
+    the typed ``ledger_entry`` event stream (the spine every collector
+    shares — also what a trace replayer feeds); without one it falls
+    back to subscribing each ledger directly (legacy path, still used
+    by fixtures that build stations without a system).
+    """
+
+    def __init__(self, stations, hub=None):
         self.stations = list(stations)
         self.accumulators = {group: HourlyAccumulator() for group in GROUPS}
-        for station in self.stations:
-            station.ledger.subscribe(self._on_entry)
+        if hub is not None:
+            self._station_names = {s.name for s in self.stations}
+            hub.subscribe(LEDGER_ENTRY, self._on_ledger_event)
+        else:
+            for station in self.stations:
+                station.ledger.subscribe(self._on_entry)
+
+    def _on_ledger_event(self, event):
+        if event.source not in self._station_names:
+            return
+        payload = event.payload
+        self._on_entry(payload["category"], payload["t0"], payload["t1"],
+                       payload["fraction"])
 
     def _on_entry(self, category, t0, t1, fraction):
         group = GROUP_OF[category]

@@ -22,19 +22,29 @@ from repro.runtime.checkpoint import InMemoryCheckpointStore
 from repro.runtime.errors import LiveRuntimeError
 from repro.runtime.job import LiveJob
 from repro.runtime.worker import LiveWorker
+from repro.telemetry import TelemetryHub
+from repro.telemetry import kinds
 
 
 class LiveCluster:
-    """A running pool of live workers under one coordinator."""
+    """A running pool of live workers under one coordinator.
+
+    Emits the same telemetry vocabulary as the simulator — the job
+    lifecycle kinds of :mod:`repro.telemetry.kinds`, timed on the wall
+    clock — so one dashboard, trace, or report path serves both live
+    and simulated executions.
+    """
 
     def __init__(self, worker_names, store=None, poll_interval=0.02,
-                 placements_per_cycle=1, policy=None):
+                 placements_per_cycle=1, policy=None, hub=None):
         if not worker_names:
             raise LiveRuntimeError("need at least one worker")
         if poll_interval <= 0:
             raise LiveRuntimeError("poll_interval must be > 0")
+        #: Telemetry spine shared with every worker (thread-safe).
+        self.hub = hub or TelemetryHub(clock=time.monotonic)
         self.store = store or InMemoryCheckpointStore()
-        self.workers = {name: LiveWorker(name, self.store)
+        self.workers = {name: LiveWorker(name, self.store, hub=self.hub)
                         for name in worker_names}
         self.poll_interval = poll_interval
         self.placements_per_cycle = placements_per_cycle
@@ -87,6 +97,9 @@ class LiveCluster:
             self._queue.append(job)
             self._jobs.append(job)
         self.policy.register_station(owner)
+        self.hub.emit(kinds.JOB_SUBMITTED, source=owner, job=job,
+                      station=owner)
+        self.hub.metrics.counter("live.submitted").inc()
         self._wake.set()
         return job
 
@@ -166,6 +179,7 @@ class LiveCluster:
         if outcome == "vacated":
             with self._lock:
                 self._queue.append(job)
+        self.hub.metrics.counter(f"live.{outcome}").inc()
         self._wake.set()
 
     def __repr__(self):

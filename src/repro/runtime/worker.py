@@ -13,14 +13,21 @@ import time
 from repro.runtime import job as livejob
 from repro.runtime.errors import LiveRuntimeError, VacateRequested
 from repro.runtime.job import CheckpointContext
+from repro.telemetry import kinds
 
 
 class LiveWorker:
-    """One workstation of the live cluster."""
+    """One workstation of the live cluster.
 
-    def __init__(self, name, store):
+    When given a telemetry ``hub``, the worker reports its lifecycle —
+    placements, vacates, completions, failures, owner presence — with
+    the same event kinds the simulated local scheduler publishes.
+    """
+
+    def __init__(self, name, store, hub=None):
         self.name = name
         self.store = store
+        self.hub = hub
         self._owner_active = threading.Event()
         self._lock = threading.Lock()
         self._current = None        # (job, context, thread)
@@ -38,12 +45,18 @@ class LiveWorker:
     def owner_arrived(self):
         """The owner is back: evict any running job at its next safe point."""
         self._owner_active.set()
+        self._emit(kinds.OWNER_ARRIVED)
         with self._lock:
             if self._current is not None:
                 self._current[1].request_vacate()
 
     def owner_departed(self):
         self._owner_active.clear()
+        self._emit(kinds.OWNER_DEPARTED)
+
+    def _emit(self, kind, **payload):
+        if self.hub is not None:
+            self.hub.emit(kind, source=self.name, **payload)
 
     # ------------------------------------------------------------------
     # hosting
@@ -75,6 +88,8 @@ class LiveWorker:
             self._current = (job, context, thread)
         job.status = livejob.RUNNING
         job.placements.append(self.name)
+        self._emit(kinds.JOB_PLACED, job=job, host=self.name,
+                   home=job.owner)
         thread.start()
         return True
 
@@ -87,17 +102,22 @@ class LiveWorker:
             self.jobs_vacated += 1
             job.vacated_count += 1
             job.status = livejob.PENDING
+            self._emit(kinds.JOB_VACATED, job=job, host=self.name,
+                       reason="owner_returned")
             on_exit(job, "vacated")
             return
         except Exception as exc:  # the job's own bug: record, don't hide
             self._clear()
             job._fail(exc)
+            self._emit(kinds.JOB_FAILED, job=job, host=self.name,
+                       error=f"{type(exc).__name__}: {exc}")
             on_exit(job, "failed")
             return
         self._clear()
         self.jobs_completed += 1
         self.store.discard(job)
         job._complete(result)
+        self._emit(kinds.JOB_COMPLETED, job=job, station=self.name)
         on_exit(job, "completed")
 
     def _clear(self):

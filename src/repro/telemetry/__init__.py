@@ -1,0 +1,53 @@
+"""The telemetry spine: typed events, metrics, deterministic traces.
+
+Every layer of the reproduction reports through this package:
+
+* :mod:`repro.telemetry.kinds` — the one event vocabulary shared by the
+  simulator and the live runtime;
+* :class:`TelemetryHub` — typed pub/sub with subscriber isolation;
+* :class:`MetricsRegistry` — counters/gauges/histograms by name;
+* :class:`TraceRecorder` / :func:`replay_trace` — byte-deterministic
+  JSONL traces and offline reconstruction of the headline metrics.
+"""
+
+from repro.telemetry import kinds
+from repro.telemetry.events import (
+    SubscriberError,
+    TelemetryEvent,
+    TelemetryHub,
+    UnknownEventKind,
+)
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.trace import (
+    TraceRecorder,
+    TraceSummary,
+    encode_event,
+    jsonify,
+    read_trace,
+    replay_trace,
+    summarize_trace,
+)
+
+__all__ = [
+    "kinds",
+    "TelemetryEvent",
+    "TelemetryHub",
+    "SubscriberError",
+    "UnknownEventKind",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "TraceRecorder",
+    "TraceSummary",
+    "encode_event",
+    "jsonify",
+    "read_trace",
+    "replay_trace",
+    "summarize_trace",
+]

@@ -1,0 +1,57 @@
+"""The canonical telemetry event vocabulary.
+
+One flat namespace of event kinds shared by *every* layer — the
+discrete-event simulator, the accounting ledgers, and the live
+(threaded) runtime — so a dashboard, trace file, or report built against
+these names works identically on simulated and real executions.
+
+The job-lifecycle names are exactly the strings the original
+``repro.core.events`` module used; ``repro.core.events`` re-exports them
+from here, so string values recorded in old traces stay valid.
+"""
+
+# -- job lifecycle (simulator local schedulers AND live runtime) --------
+JOB_SUBMITTED = "job_submitted"
+JOB_REFUSED = "job_refused"                  # submit rejected (disk full)
+JOB_PLACED = "job_placed"                    # image arrived, execution began
+JOB_PLACEMENT_FAILED = "job_placement_failed"
+JOB_SUSPENDED = "job_suspended"              # owner returned, grace started
+JOB_RESUMED = "job_resumed"                  # owner left within grace
+JOB_VACATED = "job_vacated"                  # checkpointed back home
+JOB_KILLED = "job_killed"                    # killed without checkpoint
+JOB_PREEMPTED = "job_preempted"              # coordinator priority preemption
+JOB_PERIODIC_CHECKPOINT = "job_periodic_checkpoint"
+JOB_COMPLETED = "job_completed"
+JOB_REMOVED = "job_removed"
+JOB_FAILED = "job_failed"                    # live runtime: job fn raised
+HOST_LOST = "host_lost"                      # hosting station went down
+
+# -- daemons ------------------------------------------------------------
+COORDINATOR_CYCLE = "coordinator_cycle"
+
+# -- machine substrate --------------------------------------------------
+#: One CPU-attribution ledger entry (category, interval, fraction).
+LEDGER_ENTRY = "ledger_entry"
+#: Owner presence changes (live workers; the simulator's equivalent is
+#: carried by the owner/remote-job ledger intervals).
+OWNER_ARRIVED = "owner_arrived"
+OWNER_DEPARTED = "owner_departed"
+
+# -- the spine itself ---------------------------------------------------
+#: A subscriber callback raised; the exception was isolated and recorded.
+TELEMETRY_ERROR = "telemetry_error"
+
+#: The scheduler-facing lifecycle vocabulary (what EventBus validates).
+JOB_LIFECYCLE = (
+    JOB_SUBMITTED, JOB_REFUSED, JOB_PLACED, JOB_PLACEMENT_FAILED,
+    JOB_SUSPENDED, JOB_RESUMED, JOB_VACATED, JOB_KILLED, JOB_PREEMPTED,
+    JOB_PERIODIC_CHECKPOINT, JOB_COMPLETED, JOB_REMOVED, JOB_FAILED,
+    HOST_LOST, COORDINATOR_CYCLE,
+)
+
+#: Checkpoint-bearing events (Fig. 8's numerator, trace replay's count).
+CHECKPOINT_KINDS = (JOB_VACATED, JOB_PERIODIC_CHECKPOINT)
+
+ALL_KINDS = JOB_LIFECYCLE + (
+    LEDGER_ENTRY, OWNER_ARRIVED, OWNER_DEPARTED, TELEMETRY_ERROR,
+)

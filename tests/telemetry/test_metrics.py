@@ -1,0 +1,85 @@
+"""Tests for the metrics registry (counters, gauges, histograms)."""
+
+import pytest
+
+from repro.sim import SimulationError
+from repro.telemetry import MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = MetricsRegistry().counter("jobs")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative_increment(self):
+        counter = MetricsRegistry().counter("jobs")
+        with pytest.raises(SimulationError):
+            counter.inc(-1)
+
+
+class TestGauge:
+    def test_tracks_last_value(self):
+        gauge = MetricsRegistry().gauge("queue")
+        assert gauge.value is None
+        gauge.set(3)
+        gauge.set(7.5)
+        assert gauge.value == 7.5
+        assert gauge.updates == 2
+
+
+class TestHistogram:
+    def test_streaming_statistics(self):
+        hist = MetricsRegistry().histogram("latency")
+        for value in (2.0, 4.0, 6.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.total == 12.0
+        assert hist.min == 2.0
+        assert hist.max == 6.0
+        assert hist.mean == 4.0
+
+    def test_empty_histogram(self):
+        hist = MetricsRegistry().histogram("latency")
+        assert hist.count == 0
+        assert hist.mean is None
+        assert hist.min is None
+        assert hist.max is None
+
+
+class TestRegistry:
+    def test_create_on_first_use_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert len(registry) == 1
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(SimulationError):
+            registry.gauge("a")
+        with pytest.raises(SimulationError):
+            registry.histogram("a")
+
+    def test_get_and_names(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.gauge("a")
+        assert registry.names() == ["a", "b"]
+        assert registry.get("b").value == 0
+        assert registry.get("missing") is None
+
+    def test_snapshot_shapes(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(3.0)
+        snap = registry.snapshot()
+        assert snap["c"] == {"type": "counter", "value": 2}
+        assert snap["g"] == {"type": "gauge", "value": 1.5, "updates": 1}
+        assert snap["h"]["type"] == "histogram"
+        assert snap["h"]["count"] == 1
+        assert snap["h"]["sum"] == 3.0
+        assert snap["h"]["mean"] == 3.0

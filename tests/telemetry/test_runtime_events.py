@@ -1,0 +1,85 @@
+"""The live runtime speaks the same telemetry vocabulary as the simulator."""
+
+import time
+
+from repro.runtime import LiveCluster
+from repro.telemetry import TelemetryHub, kinds
+
+
+def _wait_for(predicate, timeout=10.0):
+    """Poll until ``predicate()`` is truthy.  Worker threads signal job
+    completion a hair before their final telemetry lands, so assertions
+    on counts must tolerate that last few-microsecond window."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return bool(predicate())
+
+
+def test_live_cluster_emits_shared_kinds():
+    hub = TelemetryHub()
+    seen = []
+    hub.subscribe_all(seen.append)
+
+    def quick_job(ctx, state):
+        return (state or {}).get("x", 0) + 1
+
+    with LiveCluster(["w1", "w2"], hub=hub) as cluster:
+        cluster.submit(quick_job, name="t1", owner="alice")
+        cluster.submit(quick_job, name="t2", owner="bob")
+        assert cluster.wait_all(timeout=10.0)
+        assert _wait_for(lambda: hub.counts[kinds.JOB_COMPLETED] == 2)
+
+    assert hub.counts[kinds.JOB_SUBMITTED] == 2
+    assert hub.counts[kinds.JOB_PLACED] >= 2
+    assert hub.metrics.counter("live.submitted").value == 2
+    assert _wait_for(
+        lambda: hub.metrics.counter("live.completed").value == 2)
+    # Every emitted kind belongs to the canonical vocabulary shared
+    # with the simulated scheduler.
+    assert {e.kind for e in seen} <= set(kinds.ALL_KINDS)
+
+
+def test_owner_presence_and_vacate_events():
+    hub = TelemetryHub()
+
+    def stubborn(ctx, state):
+        n = state or 0
+        while n < 200:
+            n += 1
+            ctx.checkpoint(n)
+            time.sleep(0.005)
+        return n
+
+    with LiveCluster(["solo"], poll_interval=0.01, hub=hub) as cluster:
+        worker = cluster.workers["solo"]
+        cluster.submit(stubborn, name="s", owner="carol")
+        assert _wait_for(lambda: worker.busy)
+        worker.owner_arrived()
+        assert _wait_for(lambda: hub.counts[kinds.JOB_VACATED] >= 1)
+        worker.owner_departed()
+        assert cluster.wait_all(timeout=30.0)
+        assert _wait_for(lambda: hub.counts[kinds.JOB_COMPLETED] == 1)
+
+    assert hub.counts[kinds.OWNER_ARRIVED] == 1
+    assert hub.counts[kinds.OWNER_DEPARTED] == 1
+    assert hub.counts[kinds.JOB_PLACED] >= 2  # resumed after the vacate
+
+
+def test_failed_job_reports_error_event():
+    hub = TelemetryHub()
+    failures = []
+    hub.subscribe(kinds.JOB_FAILED, failures.append)
+
+    def broken(ctx, state):
+        raise ValueError("bad input")
+
+    with LiveCluster(["w1"], hub=hub) as cluster:
+        cluster.submit(broken, name="b", owner="dave")
+        cluster.wait_all(timeout=10.0)
+        assert _wait_for(lambda: hub.counts[kinds.JOB_FAILED] == 1)
+
+    assert failures[0].payload["error"] == "ValueError: bad input"
+    assert _wait_for(lambda: hub.metrics.counter("live.failed").value == 1)

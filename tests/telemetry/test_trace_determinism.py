@@ -1,0 +1,127 @@
+"""Determinism + replay tests for the JSONL telemetry trace.
+
+The two properties the telemetry spine promises:
+
+* same seed ⇒ byte-identical trace across two independent runs;
+* replaying a recorded trace reconstructs the run's headline metrics
+  (Table-1 job totals, checkpoint counts, ledger hours, event counts)
+  without re-simulating.
+"""
+
+import pytest
+
+from repro.analysis.experiment import ExperimentRun
+from repro.core.job import reset_job_ids
+from repro.telemetry import kinds, read_trace, replay_trace, summarize_trace
+from repro.telemetry.trace import encode_event
+
+SEED = 42
+DAYS = 2
+
+
+def _run(trace_path):
+    reset_job_ids()
+    return ExperimentRun(seed=SEED, days=DAYS,
+                         trace_path=str(trace_path)).execute()
+
+
+@pytest.fixture(scope="module")
+def recorded(tmp_path_factory):
+    path = tmp_path_factory.mktemp("traces") / "month.jsonl"
+    run = _run(path)
+    return run, path
+
+
+class TestByteIdentity:
+    def test_same_seed_same_bytes(self, recorded, tmp_path):
+        _, first_path = recorded
+        second_path = tmp_path / "again.jsonl"
+        _run(second_path)
+        first = first_path.read_bytes()
+        assert first == second_path.read_bytes()
+        assert len(first) > 0
+
+    def test_lines_are_canonical_json(self, recorded):
+        _, path = recorded
+        with open(path, encoding="utf-8") as fh:
+            lines = [line.rstrip("\n") for line in fh]
+        records = list(read_trace(path))
+        assert len(records) == len(lines)
+        # Re-encoding every record reproduces the file line exactly.
+        for line, record in zip(lines, records):
+            class _Event:
+                seq = record["seq"]
+                sim_time = record["t"]
+                source = record["src"]
+                kind = record["kind"]
+                payload = record["payload"]
+
+            assert encode_event(_Event()) == line
+
+
+class TestReplay:
+    def test_job_totals_match(self, recorded):
+        run, path = recorded
+        summary = replay_trace(path)
+        assert summary.jobs_submitted == len(run.jobs)
+        assert summary.jobs_completed == len(run.completed_jobs)
+
+    def test_checkpoint_counts_match(self, recorded):
+        run, path = recorded
+        summary = replay_trace(path)
+        vacates = sum(j.checkpoint_count for j in run.jobs)
+        periodics = sum(j.periodic_checkpoint_count for j in run.jobs)
+        assert summary.event_counts.get(kinds.JOB_VACATED, 0) == vacates
+        assert summary.event_counts.get(
+            kinds.JOB_PERIODIC_CHECKPOINT, 0) == periodics
+        assert summary.checkpoints == vacates + periodics
+
+    def test_event_counts_match_hub(self, recorded):
+        run, path = recorded
+        summary = replay_trace(path)
+        emitted = {kind: count
+                   for kind, count in run.telemetry.counts.items()
+                   if count}
+        assert summary.event_counts == emitted
+        assert summary.events_total == run.telemetry.events_emitted
+
+    def test_ledger_hours_match(self, recorded):
+        run, path = recorded
+        summary = replay_trace(path)
+        assert summary.remote_hours == pytest.approx(
+            run.util.remote_hours(), rel=1e-9)
+        assert summary.local_hours == pytest.approx(
+            run.util.local_hours(), rel=1e-9)
+        assert summary.support_hours == pytest.approx(
+            run.util.support_hours(), rel=1e-9)
+
+    def test_demand_hours_match(self, recorded):
+        run, path = recorded
+        summary = replay_trace(path)
+        expected = sum(j.demand_seconds for j in run.jobs) / 3600.0
+        assert summary.total_demand_hours == pytest.approx(expected,
+                                                           rel=1e-12)
+
+    def test_seq_is_contiguous(self, recorded):
+        _, path = recorded
+        records = list(read_trace(path))
+        assert [r["seq"] for r in records] == list(range(len(records)))
+        # summarize_trace applies the same check internally.
+        summarize_trace(iter(records))
+
+    def test_gap_detection(self, recorded):
+        from repro.sim import SimulationError
+
+        _, path = recorded
+        records = list(read_trace(path))
+        del records[5]
+        with pytest.raises(SimulationError):
+            summarize_trace(iter(records))
+
+    def test_headline_is_plain_data(self, recorded):
+        _, path = recorded
+        head = replay_trace(path).headline()
+        for key in ("events", "jobs_submitted", "jobs_completed",
+                    "checkpoints", "total_demand_hours", "remote_hours",
+                    "local_hours", "support_hours", "end_time_days"):
+            assert isinstance(head[key], (int, float)), key
