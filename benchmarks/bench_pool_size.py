@@ -6,32 +6,28 @@ proportionally fixed workload shows harvested capacity scaling with the
 pool while the coordinator's cost stays flat (3.1's scaling claim).
 """
 
-from repro.analysis import run_month
-from repro.metrics import jobs as job_metrics
+import os
+
+from repro.analysis.sweep import month_spec, run_specs
 from repro.metrics.report import render_table
 
 SIZES = (10, 16, 23, 32, 40)
-RUN_KWARGS = {"days": 4, "job_scale": 0.12, "seed": 13}
+RUN_KWARGS = {"days": 4, "job_scale": 0.12}
+SEED = 13
+JOBS = min(len(SIZES), os.cpu_count() or 1)
 
 
-def measure(size):
-    run = run_month(stations=size, **RUN_KWARGS)
-    completed = run.completed_jobs
-    host = run.system.coordinator.host_station
-    return {
-        "remote_hours": run.util.remote_hours(),
-        "completed": len(completed),
-        "avg_wait": job_metrics.average_wait_ratio(completed),
-        "coordinator_fraction":
-            host.ledger.totals["coordinator"] / run.horizon,
-    }
+def measure_all(sizes=SIZES, jobs=JOBS):
+    """One run per pool size via the sweep executor's ``pool`` collector."""
+    specs = [month_spec(SEED, collector="pool", stations=size, **RUN_KWARGS)
+             for size in sizes]
+    records = run_specs(specs, jobs=jobs)
+    return {size: record["metrics"]
+            for size, record in zip(sizes, records)}
 
 
 def test_pool_size_scaling(benchmark, show):
-    results = benchmark.pedantic(
-        lambda: {size: measure(size) for size in SIZES},
-        rounds=1, iterations=1,
-    )
+    results = benchmark.pedantic(measure_all, rounds=1, iterations=1)
     rows = [(size, r["remote_hours"], r["completed"], r["avg_wait"],
              r["coordinator_fraction"])
             for size, r in results.items()]

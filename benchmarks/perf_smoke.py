@@ -1,0 +1,214 @@
+"""Kernel performance smoke test for CI.
+
+Runs the kernel micro-benchmarks plus a 2-day mini-month, writes the
+numbers (events/sec, wall seconds, peak RSS) to ``BENCH_kernel.json``,
+and — with ``--check BASELINE`` — fails when any throughput metric
+regresses more than the tolerance (default 30%) against a checked-in
+baseline.  Usage::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py --output BENCH_kernel.json
+    PYTHONPATH=src python benchmarks/perf_smoke.py \
+        --check benchmarks/results/BENCH_kernel.json
+
+Kept dependency-free (stdlib only) so the CI job needs nothing beyond
+the repo itself.
+"""
+
+import argparse
+import json
+import resource
+import sys
+import time
+
+
+def _best_of(fn, rounds=3):
+    """Highest throughput over a few rounds (shields against CI noise)."""
+    return max(fn() for _ in range(rounds))
+
+
+def bench_dispatch_chain(n=100_000):
+    """Self-rescheduling event chain: schedule + dispatch cost."""
+    from repro.sim import Simulation
+
+    def once():
+        sim = Simulation()
+        state = {"n": 0}
+
+        def tick():
+            state["n"] += 1
+            if state["n"] < n:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(1.0, tick)
+        t0 = time.perf_counter()
+        sim.run()
+        return n / (time.perf_counter() - t0)
+
+    return _best_of(once)
+
+
+def bench_wide_heap(m=50_000):
+    """Pre-filled agenda: heap sift cost under a deep heap."""
+    import random
+
+    from repro.sim import Simulation
+
+    def once():
+        sim = Simulation()
+        rng = random.Random(1)
+
+        def noop():
+            pass
+
+        for _ in range(m):
+            sim.schedule(rng.random() * 1000, noop)
+        t0 = time.perf_counter()
+        sim.run()
+        return m / (time.perf_counter() - t0)
+
+    return _best_of(once)
+
+
+def bench_process_switch(procs=10, yields=1000):
+    """Generator-process resume cost."""
+    from repro.sim import Simulation
+
+    def once():
+        sim = Simulation()
+
+        def proc():
+            for _ in range(yields):
+                yield 1.0
+
+        for _ in range(procs):
+            sim.spawn(proc())
+        t0 = time.perf_counter()
+        sim.run()
+        return procs * yields / (time.perf_counter() - t0)
+
+    return _best_of(once)
+
+
+def bench_telemetry_emit(k=50_000):
+    """Hub emission with zero subscribers (the fast path)."""
+    from repro.telemetry import kinds
+    from repro.telemetry.events import TelemetryHub
+
+    def once():
+        hub = TelemetryHub()
+        t0 = time.perf_counter()
+        for i in range(k):
+            hub.emit(kinds.JOB_SUBMITTED, source="x", job=i)
+        return k / (time.perf_counter() - t0)
+
+    return _best_of(once)
+
+
+def bench_mini_month(days=2, seed=42):
+    """End-to-end: the full stack over a short horizon."""
+    from repro.analysis.experiment import ExperimentRun
+    from repro.core.job import reset_job_ids
+
+    reset_job_ids()
+    t0 = time.perf_counter()
+    run = ExperimentRun(seed=seed, days=days).execute()
+    wall = time.perf_counter() - t0
+    return {
+        "wall_seconds": round(wall, 4),
+        "events": run.sim.events_dispatched,
+        "events_per_sec": round(run.sim.events_dispatched / wall, 1),
+    }
+
+
+def measure():
+    results = {
+        "dispatch_chain_eps": round(bench_dispatch_chain(), 1),
+        "wide_heap_eps": round(bench_wide_heap(), 1),
+        "process_switch_eps": round(bench_process_switch(), 1),
+        "telemetry_emit_eps": round(bench_telemetry_emit(), 1),
+        "mini_month": bench_mini_month(),
+    }
+    # ru_maxrss is KiB on Linux, bytes on macOS; normalise to MiB.
+    maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover
+        maxrss //= 1024
+    results["peak_rss_mib"] = round(maxrss / 1024, 1)
+    results["python"] = sys.version.split()[0]
+    return results
+
+
+#: Throughput metrics the regression gate compares (higher is better).
+GATED = (
+    ("dispatch_chain_eps",),
+    ("wide_heap_eps",),
+    ("process_switch_eps",),
+    ("telemetry_emit_eps",),
+    ("mini_month", "events_per_sec"),
+)
+
+
+def _lookup(record, path):
+    for key in path:
+        record = record[key]
+    return record
+
+
+def check(results, baseline, tolerance):
+    """Return a list of regression messages (empty = pass)."""
+    failures = []
+    for path in GATED:
+        name = ".".join(path)
+        try:
+            base = _lookup(baseline, path)
+        except KeyError:
+            continue
+        got = _lookup(results, path)
+        floor = base * (1.0 - tolerance)
+        status = "ok" if got >= floor else "REGRESSION"
+        print(f"  {name:30s} {got:>12,.0f} ev/s  "
+              f"(baseline {base:,.0f}, floor {floor:,.0f}) {status}")
+        if got < floor:
+            failures.append(
+                f"{name}: {got:,.0f} ev/s is below {floor:,.0f} "
+                f"({tolerance:.0%} under baseline {base:,.0f})"
+            )
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", metavar="FILE",
+                        default="BENCH_kernel.json",
+                        help="where to write the measured numbers")
+    parser.add_argument("--check", metavar="BASELINE",
+                        help="baseline JSON to compare against")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional regression (default 0.30)")
+    args = parser.parse_args(argv)
+
+    print("# measuring kernel throughput ...")
+    results = measure()
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"# wrote {args.output}")
+    for key, value in sorted(results.items()):
+        print(f"  {key}: {value}")
+
+    if args.check:
+        with open(args.check, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        print(f"\n# gating against {args.check} "
+              f"(tolerance {args.tolerance:.0%})")
+        failures = check(results, baseline, args.tolerance)
+        if failures:
+            print("\nPERF REGRESSION:", file=sys.stderr)
+            for failure in failures:
+                print(f"  - {failure}", file=sys.stderr)
+            return 1
+        print("# perf smoke: all metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,8 @@ computed.  A process-wide cache lets the per-exhibit benchmarks share one
 simulated month instead of re-simulating it nine times.
 """
 
+import dataclasses
+
 from repro.analysis import paper
 from repro.core.condor import CondorSystem
 from repro.core.config import CondorConfig
@@ -130,13 +132,55 @@ def run_month(seed=42, **kwargs):
 _CACHE = {}
 
 
+class _Uncacheable(Exception):
+    """A run kwarg whose identity can't be captured by value."""
+
+
+def _freeze(value):
+    """A hashable, *by-value* key component for one run kwarg.
+
+    Dataclass instances (``CondorConfig``, profiles) are flattened to
+    their field values — two configs that compare equal share a cache
+    entry, and a config mutated after an earlier call no longer aliases
+    the entry made under its old field values.  Values we can't freeze
+    by value (live network objects, open files) raise
+    :class:`_Uncacheable` and the run bypasses the cache entirely —
+    a miss is safe, a false hit returns the wrong experiment.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return (type(value).__qualname__,) + tuple(
+            (f.name, _freeze(getattr(value, f.name)))
+            for f in dataclasses.fields(value)
+        )
+    if isinstance(value, dict):
+        return tuple(sorted(
+            (k, _freeze(v)) for k, v in value.items()
+        ))
+    if isinstance(value, (list, tuple)):
+        return (type(value).__name__,) + tuple(_freeze(v) for v in value)
+    if isinstance(value, (set, frozenset)):
+        return frozenset(_freeze(v) for v in value)
+    try:
+        hash(value)
+    except TypeError:
+        raise _Uncacheable(repr(value)) from None
+    return value
+
+
 def cached_month_run(seed=42, **kwargs):
     """Process-wide cached :func:`run_month`.
 
     The month simulation takes seconds; the nine exhibit benchmarks and
-    the integration tests share one instance per parameter set.
+    the integration tests share one instance per parameter set.  The
+    cache key freezes dataclass kwargs (notably ``config``) by field
+    value; kwargs with no by-value identity skip the cache.
     """
-    key = (seed, tuple(sorted(kwargs.items())))
+    try:
+        key = (seed, tuple(
+            (name, _freeze(value)) for name, value in sorted(kwargs.items())
+        ))
+    except _Uncacheable:
+        return run_month(seed=seed, **kwargs)
     if key not in _CACHE:
         _CACHE[key] = run_month(seed=seed, **kwargs)
     return _CACHE[key]

@@ -6,32 +6,20 @@ one field.  Used by the sensitivity benchmark and available to users
 exploring deployments different from the paper's.
 """
 
-import dataclasses
-
-from repro.analysis.ablation import run_variant, summarize
-from repro.core.config import CondorConfig
-from repro.sim.errors import SimulationError
+from repro.analysis.sweep import sweep_values
 
 
 def sweep_config(records, field, values, base_config=None, seed=42,
-                 days=None, **variant_kwargs):
+                 days=None, jobs=None, **variant_kwargs):
     """Replay ``records`` once per value of ``config.<field>``.
 
     Returns ``[(value, summary_dict), ...]`` in input order.  ``days``
-    defaults to the ablation harness default.
+    defaults to the ablation harness default.  ``jobs=N`` runs the
+    variants on N worker processes (results are identical to the serial
+    run; see :mod:`repro.analysis.sweep`).
     """
-    base = base_config or CondorConfig()
-    if field not in {f.name for f in dataclasses.fields(CondorConfig)}:
-        raise SimulationError(f"unknown CondorConfig field {field!r}")
-    results = []
-    for value in values:
-        config = dataclasses.replace(base, **{field: value})
-        kwargs = dict(variant_kwargs)
-        if days is not None:
-            kwargs["days"] = days
-        run = run_variant(records, config=config, seed=seed, **kwargs)
-        results.append((value, summarize(run)))
-    return results
+    return sweep_values(records, field, values, base_config=base_config,
+                        seed=seed, days=days, jobs=jobs, **variant_kwargs)
 
 
 def metric_series(sweep_results, metric):

@@ -58,17 +58,19 @@ def headline_metrics(run):
     }
 
 
-def multi_seed_summary(seeds, confidence=0.95, **run_kwargs):
+def multi_seed_summary(seeds, confidence=0.95, jobs=None, **run_kwargs):
     """Run the experiment for every seed; summarise metric -> (mean, ±).
 
     ``run_kwargs`` are forwarded to
     :func:`repro.analysis.experiment.run_month` (use ``days``/``job_scale``
-    to keep this quick).
+    to keep this quick).  ``jobs=N`` fans the seeds out over N worker
+    processes via :mod:`repro.analysis.sweep`; the summary is identical
+    either way.
     """
-    from repro.analysis.experiment import run_month
+    from repro.analysis.sweep import sweep_seeds
 
-    per_seed = [headline_metrics(run_month(seed=seed, **run_kwargs))
-                for seed in seeds]
+    per_seed = [metrics for _seed, metrics
+                in sweep_seeds(seeds, jobs=jobs, **run_kwargs)]
     summary = {}
     for metric in per_seed[0]:
         values = [metrics[metric] for metrics in per_seed]

@@ -8,6 +8,8 @@ Subcommands:
 * ``trace``    — run the month and export its workload as a JSON trace;
 * ``replay``   — reconstruct a run's headline metrics from a telemetry
   trace alone, without re-simulating;
+* ``sweep``    — run the experiment across a range of seeds, optionally
+  fanned out over worker processes (``--jobs N``);
 * ``demo``     — a one-minute, five-station narrated demo.
 """
 
@@ -136,6 +138,53 @@ def _cmd_replay(args):
     return 0
 
 
+def _parse_seeds(text):
+    """``"3"``, ``"1,5,9"``, or the inclusive range ``"1..8"``."""
+    if ".." in text:
+        lo, _, hi = text.partition("..")
+        return list(range(int(lo), int(hi) + 1))
+    return [int(part) for part in text.split(",") if part]
+
+
+def _cmd_sweep(args):
+    import json as _json
+    import os
+
+    from repro.analysis.sweep import sweep_seeds
+
+    seeds = _parse_seeds(args.seeds)
+    if args.trace_dir:
+        os.makedirs(args.trace_dir, exist_ok=True)
+    start = time.time()
+    results = sweep_seeds(
+        seeds, jobs=args.jobs, days=args.days, job_scale=args.scale,
+        stations=args.stations, trace_dir=args.trace_dir,
+    )
+    elapsed = time.time() - start
+    print(f"# {len(seeds)} seeds x {args.days} days on "
+          f"{args.jobs or 1} worker(s): {elapsed:.1f} s\n")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            _json.dump(
+                {str(seed): metrics for seed, metrics in results},
+                fh, indent=2, sort_keys=True,
+            )
+        print(f"# wrote per-seed metrics to {args.json}")
+    metric_names = sorted(results[0][1])
+    rows = [
+        [seed] + [f"{metrics[name]:.4g}" for name in metric_names]
+        for seed, metrics in results
+    ]
+    means = [
+        sum(metrics[name] for _s, metrics in results) / len(results)
+        for name in metric_names
+    ]
+    rows.append(["mean"] + [f"{m:.4g}" for m in means])
+    print(render_table(["seed"] + metric_names, rows,
+                       title="Headline metrics per seed"))
+    return 0
+
+
 def _cmd_demo(args):
     from repro.core import CondorSystem, Job, StationSpec, events
     from repro.telemetry import TraceRecorder
@@ -229,6 +278,23 @@ def build_parser():
     )
     replay.add_argument("trace_file")
     replay.set_defaults(fn=_cmd_replay)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run the experiment across seeds, optionally in parallel",
+    )
+    sweep.add_argument("--seeds", default="1..8", metavar="A..B|A,B,C",
+                       help="inclusive range '1..8' or list '1,5,9'")
+    sweep.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="worker processes (default: serial)")
+    sweep.add_argument("--days", type=int, default=6)
+    sweep.add_argument("--scale", type=float, default=0.2)
+    sweep.add_argument("--stations", type=int, default=23)
+    sweep.add_argument("--trace-dir", metavar="DIR",
+                       help="also record one telemetry trace per seed")
+    sweep.add_argument("--json", metavar="FILE",
+                       help="write per-seed metrics as JSON")
+    sweep.set_defaults(fn=_cmd_sweep)
 
     demo = sub.add_parser("demo", help="narrated five-station demo")
     demo.add_argument("--trace", metavar="FILE",

@@ -17,6 +17,7 @@ import time as _wallclock
 from repro.core import events as ev
 from repro.machine.accounting import COORDINATOR
 from repro.net import Node
+from repro.sim import Signal
 from repro.sim.errors import SimulationError
 
 
@@ -87,20 +88,39 @@ class Coordinator(Node):
     # polling
 
     def _poll_all(self):
-        """Poll every station concurrently; collect replies/timeouts."""
-        signals = {
-            name: self.net.rpc(name, "poll", None,
-                               timeout=self.config.rpc_timeout)
-            for name in self.station_names
-        }
+        """Poll every station concurrently; collect replies/timeouts.
+
+        One batched fan-out: each poll RPC delivers straight into a
+        callback (no per-RPC Signal), and a single deadline timer covers
+        the whole cycle instead of one timeout event per station.  The
+        process resumes once, when every station answered or the deadline
+        passed.  Replies settle in station order (uniform LAN latency),
+        so the reply dict's iteration order — which downstream allocation
+        code relies on for determinism — is unchanged.
+        """
         replies = {}
-        unreachable = set()
-        for name, signal in signals.items():
-            status, payload = yield signal
-            if status == "ok":
-                replies[name] = payload
-            else:
-                unreachable.add(name)
+        done = Signal(name="poll-cycle")
+        remaining = len(self.station_names)
+
+        def on_reply(name):
+            def settle(outcome):
+                nonlocal remaining
+                status, payload = outcome
+                if status == "ok":
+                    replies[name] = payload
+                remaining -= 1
+                if remaining == 0 and not done.fired:
+                    done.fire(None)
+            return settle
+
+        for name in self.station_names:
+            self.net.rpc(name, "poll", None, timeout=None,
+                         callback=on_reply(name))
+        deadline = self.sim.schedule(self.config.rpc_timeout, done.fire, None)
+        yield done
+        deadline.cancel()
+        unreachable = {name for name in self.station_names
+                       if name not in replies}
         return PollResult(replies, unreachable)
 
     def _detect_lost_hosts(self, poll):

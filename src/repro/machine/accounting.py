@@ -149,7 +149,9 @@ class CpuLedger:
     def _emit(self, category, t0, t1, fraction, booked):
         for observer in self._observers:
             observer(category, t0, t1, fraction)
-        if self.hub is not None:
+        # wants() lets an unobserved run skip the payload dict and event
+        # object for the single hottest kind on the spine.
+        if self.hub is not None and self.hub.wants(LEDGER_ENTRY):
             self.hub.emit(
                 LEDGER_ENTRY, source=self.station_name,
                 category=category, t0=t0, t1=t1, fraction=fraction,

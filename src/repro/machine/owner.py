@@ -138,6 +138,14 @@ class DiurnalOwner(OwnerActivityModel):
             self.busyness * self.base_sessions_per_day / DAY
             * max(max(self.hour_weights), 1e-12)
         )
+        #: Session-start rate per hour-of-week (168 entries), so the
+        #: inversion sampler in :meth:`run` never recomputes weights.
+        base = self.busyness * self.base_sessions_per_day / DAY
+        self._week_rates = tuple(
+            base * self.hour_weights[hour % 24]
+            * (self.weekend_factor if hour // 24 >= 5 else 1.0)
+            for hour in range(168)
+        )
 
     def rate(self, t):
         """Instantaneous session-start rate (starts per second) at time t."""
@@ -157,17 +165,36 @@ class DiurnalOwner(OwnerActivityModel):
         total = sum(self.rate(i * HOUR) * HOUR for i in range(steps))
         return min(1.0, total * mean_session / horizon)
 
+    def _next_session_start(self, t):
+        """Next arrival of the nonhomogeneous Poisson process after ``t``.
+
+        Exact inversion over the piecewise-constant weekly rate: draw a
+        unit-rate exponential target and walk hour boundaries, consuming
+        ``rate * span`` per hour until the target is exhausted.  One
+        random draw per session start — the thinning sampler this
+        replaces woke the process for every *candidate* and spent two
+        draws on each, most of them rejected off-peak.
+        """
+        target = self.stream.expovariate(1.0)
+        week_rates = self._week_rates
+        while True:
+            hour = int((t % WEEK) // HOUR)
+            rate = week_rates[hour]
+            boundary = (t // HOUR + 1.0) * HOUR
+            span = boundary - t
+            if rate > 0.0:
+                step = target / rate
+                if step <= span:
+                    return t + step
+                target -= rate * span
+            t = boundary
+
     def run(self, sim, station):
         if self.busyness == 0.0 or self._max_rate == 0.0:
             return
         while True:
-            # Thinning: candidate events at the max rate, accepted with
-            # probability rate(t)/max_rate.
-            while True:
-                gap = self.stream.expovariate(self._max_rate)
-                yield gap
-                if self.stream.random() * self._max_rate <= self.rate(sim.now):
-                    break
+            start = self._next_session_start(sim.now)
+            yield start - sim.now
             station.owner_arrived()
             yield self.session_dist.sample(self.stream)
             station.owner_departed()

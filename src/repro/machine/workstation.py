@@ -62,6 +62,10 @@ class Workstation:
         #: Availability history: list of closed (start, end) idle intervals,
         #: used by the history-based placement policy (future-work ablation).
         self.idle_history = []
+        #: Running sum of closed idle-interval lengths; keeps
+        #: :meth:`mean_idle_interval` O(1) — it is computed on every
+        #: coordinator poll of every station.
+        self._idle_total = 0.0
         self._idle_since = 0.0
         self._started = False
 
@@ -86,6 +90,7 @@ class Workstation:
             raise SimulationError(f"{self.name}: owner already active")
         self.owner_active = True
         self.idle_history.append((self._idle_since, self.sim.now))
+        self._idle_total += self.sim.now - self._idle_since
         self.ledger.start(OWNER)
         self._notify(True)
 
@@ -131,8 +136,7 @@ class Workstation:
         """
         if not self.idle_history:
             return None
-        total = sum(end - start for start, end in self.idle_history)
-        return total / len(self.idle_history)
+        return self._idle_total / len(self.idle_history)
 
     def current_idle_seconds(self):
         """How long the station has been idle right now (0 if owner active)."""

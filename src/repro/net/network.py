@@ -137,21 +137,35 @@ class Network:
 
         self.sim.schedule(self._delay(), deliver)
 
-    def rpc(self, dst_name, op, payload=None, timeout=1.0):
+    def rpc(self, dst_name, op, payload=None, timeout=1.0, callback=None):
         """Request/response with timeout.
 
         Returns a :class:`Signal` fired with ``("ok", response)`` or
         ``("timeout", None)``.  A crashed destination, or a lost request
         or reply, surfaces as a timeout — callers never hang.
+
+        With ``callback`` given, no Signal is allocated: the outcome is
+        delivered straight to ``callback(outcome)`` and ``None`` is
+        returned (the hot path for the coordinator's per-station polls).
+        ``timeout=None`` schedules no timeout event at all — the caller
+        must run its own deadline (a batch poller amortises one deadline
+        timer over a whole fan-out); with neither a response nor a
+        timeout the callback may never fire.
         """
-        result = Signal(name=f"rpc:{dst_name}:{op}")
+        result = (Signal(name=f"rpc:{dst_name}:{op}")
+                  if callback is None else None)
+        settle_cb = result.fire if callback is None else callback
         dst = self.node(dst_name)
-        state = {"settled": False}
+        settled = False
+        timeout_handle = None
 
         def settle(outcome):
-            if not state["settled"]:
-                state["settled"] = True
-                result.fire(outcome)
+            nonlocal settled
+            if not settled:
+                settled = True
+                if timeout_handle is not None:
+                    timeout_handle.cancel()
+                settle_cb(outcome)
 
         self.messages_sent += 1
         request_lost = self._lost()
@@ -169,7 +183,9 @@ class Network:
             self.sim.schedule(self._delay(), settle, ("ok", response))
 
         self.sim.schedule(self._delay(), deliver_request)
-        self.sim.schedule(timeout, settle, ("timeout", None))
+        if timeout is not None:
+            timeout_handle = self.sim.schedule(timeout, settle,
+                                               ("timeout", None))
         return result
 
     def transfer(self, src_name, dst_name, size_mb):

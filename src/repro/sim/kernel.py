@@ -6,15 +6,27 @@ reproduction — owner arrivals, coordinator polls, checkpoint completions —
 is ultimately a callback on this agenda.
 
 The kernel is deliberately small: callbacks plus the generator-based
-process layer in :mod:`repro.sim.process`.  It has no knowledge of
-workstations or jobs.
+process layer in :mod:`repro.sim.process`.  Performance notes (this is
+the hottest loop in the repo — a simulated month dispatches ~2M events):
+
+* handles double as heap entries (see :mod:`repro.sim.events`), so heap
+  ordering is C-level list comparison — no Python ``__lt__`` calls;
+* :meth:`run` drives a single pop-per-event inner loop
+  (:meth:`step_until`) instead of the ``peek()``/``step()`` pair;
+* cancelled handles are skipped lazily, and when too many dead entries
+  accumulate (long-dated completion/grace timers that were cancelled)
+  the agenda is compacted in place — cancellation stays O(1) while the
+  heap stays proportional to *live* events.
 """
 
-import heapq
-import itertools
+from heapq import heapify as _heapify, heappop as _heappop, heappush as _heappush
 
 from repro.sim.errors import SimulationError
-from repro.sim.events import PENDING, FIRED, EventHandle
+from repro.sim.events import FIRED, PENDING, EventHandle
+
+#: Compact the agenda when at least this many cancelled entries are
+#: buried in it *and* they outnumber the live ones (see ``_maybe_compact``).
+_COMPACT_MIN_DEAD = 512
 
 
 class Simulation:
@@ -28,10 +40,15 @@ class Simulation:
         sim.run(until=3600.0)
     """
 
+    __slots__ = ("_now", "_heap", "_nseq", "_ncancelled", "_running",
+                 "events_dispatched")
+
     def __init__(self, start_time=0.0):
         self._now = float(start_time)
         self._heap = []
-        self._seq = itertools.count()
+        self._nseq = 0
+        #: Cancelled-but-not-yet-popped entries in the heap.
+        self._ncancelled = 0
         self._running = False
         #: number of events dispatched so far (diagnostic)
         self.events_dispatched = 0
@@ -50,7 +67,12 @@ class Simulation:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback, *args)
+        seq = self._nseq
+        self._nseq = seq + 1
+        handle = EventHandle((self._now + delay, seq, PENDING, callback,
+                              args, self))
+        _heappush(self._heap, handle)
+        return handle
 
     def schedule_at(self, time, callback, *args):
         """Schedule ``callback(*args)`` at absolute simulation ``time``."""
@@ -58,8 +80,10 @@ class Simulation:
             raise SimulationError(
                 f"cannot schedule at {time} before current time {self._now}"
             )
-        handle = EventHandle(time, next(self._seq), callback, args)
-        heapq.heappush(self._heap, handle)
+        seq = self._nseq
+        self._nseq = seq + 1
+        handle = EventHandle((time, seq, PENDING, callback, args, self))
+        _heappush(self._heap, handle)
         return handle
 
     def spawn(self, generator, name=None):
@@ -68,31 +92,94 @@ class Simulation:
 
         return Process(self, generator, name=name)
 
+    # ------------------------------------------------------------------
+    # cancelled-handle bookkeeping (called by EventHandle.cancel)
+
+    def _note_cancelled(self):
+        self._ncancelled += 1
+        dead = self._ncancelled
+        if dead >= _COMPACT_MIN_DEAD and dead * 2 > len(self._heap):
+            self._compact()
+
+    def _compact(self):
+        """Drop dead entries and re-heapify, in place.
+
+        In place matters: the dispatch loops hold a local alias to the
+        heap list, so the list object must never be replaced.
+        """
+        heap = self._heap
+        heap[:] = [entry for entry in heap if not entry[2]]
+        _heapify(heap)
+        self._ncancelled = 0
+
+    # ------------------------------------------------------------------
+    # dispatch
+
     def step(self):
         """Dispatch the single next pending event.
 
         Returns ``True`` if an event ran, ``False`` if the agenda is empty.
         Cancelled events are skipped silently.
         """
-        while self._heap:
-            handle = heapq.heappop(self._heap)
-            if handle.state is not PENDING:
+        heap = self._heap
+        while heap:
+            handle = _heappop(heap)
+            if handle[2]:                     # cancelled: skip lazily
+                self._ncancelled -= 1
                 continue
-            self._now = handle.time
-            handle.state = FIRED
-            callback, args = handle.callback, handle.args
-            handle.callback = None
-            handle.args = None
+            self._now = handle[0]
+            handle[2] = FIRED
+            callback = handle[3]
+            args = handle[4]
+            handle[3] = None
+            handle[4] = None
             self.events_dispatched += 1
             callback(*args)
             return True
         return False
 
+    def step_until(self, until):
+        """Dispatch every event with ``time <= until``; advance the clock.
+
+        The single-pop inner loop behind :meth:`run`: each event costs one
+        ``heappop`` (the old ``peek()`` + ``step()`` pair cost a scan plus
+        a pop).  Returns the number of events dispatched.  The clock is
+        left at the last dispatched event (use :meth:`run` to pin it to
+        ``until`` exactly).
+        """
+        if until < self._now:
+            raise SimulationError(
+                f"cannot run until {until}, already at {self._now}"
+            )
+        heap = self._heap
+        pop = _heappop
+        dispatched = 0
+        while heap:
+            handle = heap[0]
+            if handle[0] > until:
+                break
+            pop(heap)
+            if handle[2]:                     # cancelled: skip lazily
+                self._ncancelled -= 1
+                continue
+            self._now = handle[0]
+            handle[2] = FIRED
+            callback = handle[3]
+            args = handle[4]
+            handle[3] = None
+            handle[4] = None
+            dispatched += 1
+            self.events_dispatched += 1
+            callback(*args)
+        return dispatched
+
     def peek(self):
         """Time of the next pending event, or ``None`` if the agenda is empty."""
-        while self._heap and self._heap[0].state is not PENDING:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][2]:
+            _heappop(heap)
+            self._ncancelled -= 1
+        return heap[0][0] if heap else None
 
     def run(self, until=None):
         """Run until the agenda empties or the clock reaches ``until``.
@@ -106,18 +193,23 @@ class Simulation:
         self._running = True
         try:
             if until is None:
-                while self.step():
-                    pass
+                heap = self._heap
+                pop = _heappop
+                while heap:
+                    handle = pop(heap)
+                    if handle[2]:
+                        self._ncancelled -= 1
+                        continue
+                    self._now = handle[0]
+                    handle[2] = FIRED
+                    callback = handle[3]
+                    args = handle[4]
+                    handle[3] = None
+                    handle[4] = None
+                    self.events_dispatched += 1
+                    callback(*args)
                 return
-            if until < self._now:
-                raise SimulationError(
-                    f"cannot run until {until}, already at {self._now}"
-                )
-            while True:
-                next_time = self.peek()
-                if next_time is None or next_time > until:
-                    break
-                self.step()
+            self.step_until(until)
             self._now = until
         finally:
             self._running = False

@@ -119,7 +119,7 @@ class Process:
     def _wait_on(self, target):
         """Arm the wait named by the value the generator yielded."""
         self._state = WAITING
-        if isinstance(target, (int, float)):
+        if type(target) is float or isinstance(target, (int, float)):
             if target < 0:
                 self._crash(SimulationError(
                     f"process {self.name} yielded a negative delay ({target})"
@@ -141,17 +141,18 @@ class Process:
         # Resumption always bounces through the agenda so that a signal
         # fired from inside another process's resume step cannot re-enter
         # this generator synchronously.
-        pending = {"handle": None, "removed": False}
+        handle = None
 
         def on_fire(value):
-            pending["handle"] = self.sim.schedule(0.0, self._resume, value, None)
+            nonlocal handle
+            handle = self.sim.schedule(0.0, self._resume, value, None)
 
         remover = signal.add_waiter(on_fire)
 
         def cancel():
             remover()
-            if pending["handle"] is not None:
-                pending["handle"].cancel()
+            if handle is not None:
+                handle.cancel()
 
         self._cancel_wait = cancel
 

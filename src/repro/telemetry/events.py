@@ -30,7 +30,7 @@ class UnknownEventKind(SimulationError):
     """An event kind outside the hub's registered vocabulary."""
 
 
-@dataclass
+@dataclass(slots=True)
 class TelemetryEvent:
     """One structured observation: who did what, when."""
 
@@ -88,6 +88,17 @@ class TelemetryHub:
         self.metrics = MetricsRegistry()
         self._seq = 0
         self._lock = threading.Lock()
+        # kind -> tuple of delivery targets (targeted + catch-all),
+        # rebuilt on any subscription change so emit() never copies lists.
+        self._dispatch = {kind: () for kind in self._kinds}
+
+    def _rebuild_dispatch(self):
+        """Recompute the per-kind delivery tuples (lock held by caller)."""
+        catch_all = tuple(self._all_subscribers)
+        self._dispatch = {
+            kind: tuple(self._subscribers.get(kind, ())) + catch_all
+            for kind in self._kinds
+        }
 
     # ------------------------------------------------------------------
     # configuration
@@ -101,6 +112,7 @@ class TelemetryHub:
         with self._lock:
             self._kinds.add(kind)
             self.counts.setdefault(kind, 0)
+            self._rebuild_dispatch()
 
     def known_kind(self, kind):
         return kind in self._kinds
@@ -117,6 +129,7 @@ class TelemetryHub:
         self._check(kind)
         with self._lock:
             self._subscribers.setdefault(kind, []).append(callback)
+            self._rebuild_dispatch()
 
     def unsubscribe(self, kind, callback):
         """Remove one registration; returns whether one was found."""
@@ -125,6 +138,7 @@ class TelemetryHub:
             callbacks = self._subscribers.get(kind, [])
             if callback in callbacks:
                 callbacks.remove(callback)
+                self._rebuild_dispatch()
                 return True
         return False
 
@@ -132,29 +146,45 @@ class TelemetryHub:
         """Deliver *every* event to ``callback(event)`` (trace recorders)."""
         with self._lock:
             self._all_subscribers.append(callback)
+            self._rebuild_dispatch()
 
     def unsubscribe_all(self, callback):
         """Remove a :meth:`subscribe_all` registration."""
         with self._lock:
             if callback in self._all_subscribers:
                 self._all_subscribers.remove(callback)
+                self._rebuild_dispatch()
                 return True
         return False
+
+    def wants(self, kind):
+        """Whether any subscriber would see a ``kind`` event right now.
+
+        Hot emitters (the CPU ledger books thousands of intervals per
+        simulated day) call this before building a payload dict, so an
+        unobserved run skips the allocation entirely.
+        """
+        return bool(self._dispatch.get(kind))
 
     # ------------------------------------------------------------------
     # emission
 
     def emit(self, kind, source="", **payload):
-        """Build, count, and deliver one typed event; returns it."""
-        self._check(kind)
+        """Build, count, and deliver one typed event; returns it.
+
+        The delivery list is the precomputed per-kind tuple maintained by
+        :meth:`_rebuild_dispatch` — emit never copies subscriber lists,
+        and with no subscribers it reduces to two counter bumps and the
+        event construction.
+        """
+        try:
+            callbacks = self._dispatch[kind]
+        except KeyError:
+            raise UnknownEventKind(f"unknown event kind {kind!r}") from None
         with self._lock:
             seq = self._seq
-            self._seq += 1
+            self._seq = seq + 1
             self.counts[kind] += 1
-            targeted = self._subscribers.get(kind)
-            callbacks = (list(targeted) if targeted else [])
-            if self._all_subscribers:
-                callbacks += self._all_subscribers
         event = TelemetryEvent(seq, self.clock(), source, kind, payload)
         for callback in callbacks:
             try:

@@ -177,3 +177,73 @@ def test_reentrant_run_rejected():
     sim.schedule(1.0, bad)
     with pytest.raises(SimulationError):
         sim.run()
+
+
+# ----------------------------------------------------------------------
+# fast-path internals: step_until and lazy-deletion compaction
+
+
+def test_step_until_dispatches_due_events_only():
+    sim = Simulation()
+    seen = []
+    for t in (1.0, 2.0, 3.0, 4.0):
+        sim.schedule(t, seen.append, t)
+    assert sim.step_until(2.5) == 2
+    assert seen == [1.0, 2.0]
+    assert sim.now == 2.0  # clock stays at the last dispatched event
+    assert sim.step_until(10.0) == 2
+    assert seen == [1.0, 2.0, 3.0, 4.0]
+
+
+def test_step_until_rejects_past_horizon():
+    sim = Simulation(start_time=50.0)
+    with pytest.raises(SimulationError):
+        sim.step_until(10.0)
+
+
+def test_step_until_skips_cancelled():
+    sim = Simulation()
+    seen = []
+    keep = sim.schedule(1.0, seen.append, "keep")
+    sim.schedule(2.0, seen.append, "dead").cancel()
+    sim.schedule(3.0, seen.append, "late")
+    assert keep.pending
+    assert sim.step_until(5.0) == 2
+    assert seen == ["keep", "late"]
+
+
+def test_cancelled_entries_are_compacted():
+    from repro.sim import kernel
+
+    sim = Simulation()
+    handles = [sim.schedule(1e6 + i, lambda: None) for i in range(2000)]
+    sim.schedule(0.5, lambda: None)
+    for handle in handles:
+        handle.cancel()
+    # Compaction keeps the agenda proportional to the live events plus
+    # a bounded tail of uncompacted dead ones.
+    assert len(sim._heap) <= 1 + kernel._COMPACT_MIN_DEAD
+    assert sim._ncancelled < kernel._COMPACT_MIN_DEAD
+    sim.run()
+    assert sim.events_dispatched == 1
+
+
+def test_cancel_notes_are_balanced_by_lazy_pops():
+    sim = Simulation()
+    live = []
+    for i in range(10):
+        handle = sim.schedule(float(i + 1), live.append, i)
+        if i % 2:
+            handle.cancel()
+    sim.run()
+    assert live == [0, 2, 4, 6, 8]
+    assert sim._ncancelled == 0
+
+
+def test_peek_discards_dead_prefix():
+    sim = Simulation()
+    sim.schedule(1.0, lambda: None).cancel()
+    sim.schedule(2.0, lambda: None).cancel()
+    sim.schedule(3.0, lambda: None)
+    assert sim.peek() == 3.0
+    assert sim._ncancelled == 0

@@ -179,3 +179,81 @@ class TestEventBusShim:
         bus = EventBus()
         bus.metrics.counter("x").inc(3)
         assert bus.hub.metrics.counter("x").value == 3
+
+
+class TestDispatchFastPath:
+    """The precomputed per-kind dispatch table behind emit()/wants()."""
+
+    def test_wants_reflects_targeted_subscription(self):
+        hub = TelemetryHub()
+        assert not hub.wants(kinds.LEDGER_ENTRY)
+        callback = lambda event: None  # noqa: E731
+        hub.subscribe(kinds.LEDGER_ENTRY, callback)
+        assert hub.wants(kinds.LEDGER_ENTRY)
+        assert not hub.wants(kinds.JOB_SUBMITTED)
+        hub.unsubscribe(kinds.LEDGER_ENTRY, callback)
+        assert not hub.wants(kinds.LEDGER_ENTRY)
+
+    def test_wants_reflects_catch_all(self):
+        hub = TelemetryHub()
+        recorder = lambda event: None  # noqa: E731
+        hub.subscribe_all(recorder)
+        assert hub.wants(kinds.LEDGER_ENTRY)
+        assert hub.wants(kinds.JOB_SUBMITTED)
+        hub.unsubscribe_all(recorder)
+        assert not hub.wants(kinds.LEDGER_ENTRY)
+
+    def test_wants_unknown_kind_false(self):
+        hub = TelemetryHub()
+        assert not hub.wants("never_registered")
+
+    def test_register_kind_updates_dispatch(self):
+        hub = TelemetryHub()
+        seen = []
+        hub.subscribe_all(seen.append)
+        hub.register_kind("custom_kind")
+        assert hub.wants("custom_kind")
+        hub.emit("custom_kind")
+        assert [event.kind for event in seen] == ["custom_kind"]
+
+    def test_emit_with_no_subscribers_still_counts(self):
+        # The zero-subscriber fast path must preserve the seq/counts
+        # contract the trace replayer relies on.
+        hub = TelemetryHub()
+        first = hub.emit(kinds.JOB_SUBMITTED, source="a", job=1)
+        second = hub.emit(kinds.JOB_COMPLETED, source="b")
+        assert (first.seq, second.seq) == (0, 1)
+        assert hub.counts[kinds.JOB_SUBMITTED] == 1
+        assert hub.events_emitted == 2
+
+    def test_subscription_during_emit_affects_next_emit_only(self):
+        hub = TelemetryHub()
+        seen = []
+
+        def late_subscriber(event):
+            seen.append(("late", event.seq))
+
+        def first_subscriber(event):
+            seen.append(("first", event.seq))
+            hub.subscribe(kinds.JOB_SUBMITTED, late_subscriber)
+
+        hub.subscribe(kinds.JOB_SUBMITTED, first_subscriber)
+        hub.emit(kinds.JOB_SUBMITTED)
+        hub.unsubscribe(kinds.JOB_SUBMITTED, first_subscriber)
+        hub.emit(kinds.JOB_SUBMITTED)
+        assert seen == [("first", 0), ("late", 1)]
+
+    def test_ledger_skips_hub_when_nobody_listens(self):
+        from repro.machine.accounting import REMOTE_JOB, CpuLedger
+        from repro.sim import Simulation
+
+        sim = Simulation()
+        hub = TelemetryHub()
+        ledger = CpuLedger(sim, station_name="ws-1", hub=hub)
+        ledger.charge(REMOTE_JOB, 5.0)
+        assert hub.events_emitted == 0          # skipped entirely
+        seen = []
+        hub.subscribe(kinds.LEDGER_ENTRY, seen.append)
+        ledger.charge(REMOTE_JOB, 5.0)
+        assert hub.events_emitted == 1
+        assert seen[0].payload["booked"] == 5.0
