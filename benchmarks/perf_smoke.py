@@ -1,14 +1,22 @@
-"""Kernel performance smoke test for CI.
+"""Performance smoke test for CI.
 
-Runs the kernel micro-benchmarks plus a 2-day mini-month, writes the
-numbers (events/sec, wall seconds, peak RSS) to ``BENCH_kernel.json``,
-and — with ``--check BASELINE`` — fails when any throughput metric
-regresses more than the tolerance (default 30%) against a checked-in
-baseline.  Usage::
+Two suites, selected with ``--suite``:
+
+* ``kernel`` (default) — the kernel micro-benchmarks plus a 2-day
+  mini-month; numbers go to ``BENCH_kernel.json``.
+* ``coordinator`` — delta-protocol coordinator scaling at N=100 and
+  N=1000 stations (2 simulated days each); numbers go to
+  ``BENCH_coordinator.json``.  ``--full`` additionally measures the
+  polling build at N=1000 (the speedup denominator) and the N=5000
+  delta run — slow, so off by default in CI.
+
+With ``--check BASELINE`` the run fails when any gated throughput
+metric regresses more than the tolerance (default 30%) against the
+checked-in baseline.  Usage::
 
     PYTHONPATH=src python benchmarks/perf_smoke.py --output BENCH_kernel.json
-    PYTHONPATH=src python benchmarks/perf_smoke.py \
-        --check benchmarks/results/BENCH_kernel.json
+    PYTHONPATH=src python benchmarks/perf_smoke.py --suite coordinator \
+        --check benchmarks/results/BENCH_coordinator.json
 
 Kept dependency-free (stdlib only) so the CI job needs nothing beyond
 the repo itself.
@@ -120,14 +128,42 @@ def bench_mini_month(days=2, seed=42):
     }
 
 
-def measure():
-    results = {
-        "dispatch_chain_eps": round(bench_dispatch_chain(), 1),
-        "wide_heap_eps": round(bench_wide_heap(), 1),
-        "process_switch_eps": round(bench_process_switch(), 1),
-        "telemetry_emit_eps": round(bench_telemetry_emit(), 1),
-        "mini_month": bench_mini_month(),
+def bench_coordinator_scale(stations, mode="delta", days=2, rounds=1):
+    """One scaled-cluster run; throughput in station-cycles/second.
+
+    ``station_cycles_per_sec`` (stations x coordinator cycles / wall) is
+    the gated metric: it normalises cluster size away, so the same floor
+    protects both sizes, and under full polling it is roughly flat while
+    the delta protocol grows it with N — which is the whole point.
+    Best wall time over ``rounds`` runs (short runs need warm-up
+    shielding just like the micro-benchmarks).
+    """
+    from repro.analysis import run_month
+    from repro.core.config import CondorConfig
+    from repro.core.job import reset_job_ids
+
+    config = CondorConfig(max_machines_per_station=6,
+                          coordinator_mode=mode)
+    wall = None
+    for _ in range(rounds):
+        reset_job_ids()
+        t0 = time.perf_counter()
+        run = run_month(seed=7, days=days, stations=stations,
+                        job_scale=0.1, config=config)
+        elapsed = time.perf_counter() - t0
+        wall = elapsed if wall is None else min(wall, elapsed)
+    cycles = run.system.coordinator.cycles
+    return {
+        "stations": stations,
+        "mode": mode,
+        "wall_seconds": round(wall, 4),
+        "events": run.sim.events_dispatched,
+        "cycles": cycles,
+        "station_cycles_per_sec": round(stations * cycles / wall, 1),
     }
+
+
+def _with_rss(results):
     # ru_maxrss is KiB on Linux, bytes on macOS; normalise to MiB.
     maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
     if sys.platform == "darwin":  # pragma: no cover
@@ -137,14 +173,58 @@ def measure():
     return results
 
 
-#: Throughput metrics the regression gate compares (higher is better).
-GATED = (
-    ("dispatch_chain_eps",),
-    ("wide_heap_eps",),
-    ("process_switch_eps",),
-    ("telemetry_emit_eps",),
-    ("mini_month", "events_per_sec"),
-)
+def measure_kernel():
+    return _with_rss({
+        "dispatch_chain_eps": round(bench_dispatch_chain(), 1),
+        "wide_heap_eps": round(bench_wide_heap(), 1),
+        "process_switch_eps": round(bench_process_switch(), 1),
+        "telemetry_emit_eps": round(bench_telemetry_emit(), 1),
+        "mini_month": bench_mini_month(),
+    })
+
+
+def measure_coordinator(full=False):
+    results = {
+        "n100": bench_coordinator_scale(100, rounds=3),
+        "n1000": bench_coordinator_scale(1000, rounds=2),
+    }
+    if full:
+        # The pre-change build: full polling every cycle.  Checked into
+        # the baseline JSON so the artifact itself records what the
+        # delta protocol is being compared against.
+        poll = bench_coordinator_scale(1000, mode="poll")
+        results["pre_pr_baseline"] = {"n1000_poll": poll}
+        results["n5000"] = bench_coordinator_scale(5000)
+        results["speedup_n1000"] = round(
+            poll["wall_seconds"] / results["n1000"]["wall_seconds"], 2)
+    return _with_rss(results)
+
+
+#: Throughput metrics each suite's regression gate compares
+#: (higher is better).
+GATED = {
+    "kernel": (
+        ("dispatch_chain_eps",),
+        ("wide_heap_eps",),
+        ("process_switch_eps",),
+        ("telemetry_emit_eps",),
+        ("mini_month", "events_per_sec"),
+    ),
+    "coordinator": (
+        ("n100", "station_cycles_per_sec"),
+        ("n1000", "station_cycles_per_sec"),
+    ),
+}
+
+SUITES = {
+    "kernel": lambda args: measure_kernel(),
+    "coordinator": lambda args: measure_coordinator(full=args.full),
+}
+
+DEFAULT_OUTPUT = {
+    "kernel": "BENCH_kernel.json",
+    "coordinator": "BENCH_coordinator.json",
+}
 
 
 def _lookup(record, path):
@@ -153,10 +233,10 @@ def _lookup(record, path):
     return record
 
 
-def check(results, baseline, tolerance):
+def check(results, baseline, tolerance, suite="kernel"):
     """Return a list of regression messages (empty = pass)."""
     failures = []
-    for path in GATED:
+    for path in GATED[suite]:
         name = ".".join(path)
         try:
             base = _lookup(baseline, path)
@@ -177,21 +257,28 @@ def check(results, baseline, tolerance):
 
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--suite", choices=sorted(SUITES),
+                        default="kernel",
+                        help="which benchmark suite to run")
     parser.add_argument("--output", metavar="FILE",
-                        default="BENCH_kernel.json",
-                        help="where to write the measured numbers")
+                        help="where to write the measured numbers "
+                             "(default depends on --suite)")
     parser.add_argument("--check", metavar="BASELINE",
                         help="baseline JSON to compare against")
     parser.add_argument("--tolerance", type=float, default=0.30,
                         help="allowed fractional regression (default 0.30)")
+    parser.add_argument("--full", action="store_true",
+                        help="coordinator suite: also measure the polling "
+                             "build at N=1000 and the N=5000 delta run")
     args = parser.parse_args(argv)
+    output = args.output or DEFAULT_OUTPUT[args.suite]
 
-    print("# measuring kernel throughput ...")
-    results = measure()
-    with open(args.output, "w", encoding="utf-8") as fh:
+    print(f"# measuring {args.suite} throughput ...")
+    results = SUITES[args.suite](args)
+    with open(output, "w", encoding="utf-8") as fh:
         json.dump(results, fh, indent=2, sort_keys=True)
         fh.write("\n")
-    print(f"# wrote {args.output}")
+    print(f"# wrote {output}")
     for key, value in sorted(results.items()):
         print(f"  {key}: {value}")
 
@@ -200,7 +287,8 @@ def main(argv=None):
             baseline = json.load(fh)
         print(f"\n# gating against {args.check} "
               f"(tolerance {args.tolerance:.0%})")
-        failures = check(results, baseline, args.tolerance)
+        failures = check(results, baseline, args.tolerance,
+                         suite=args.suite)
         if failures:
             print("\nPERF REGRESSION:", file=sys.stderr)
             for failure in failures:

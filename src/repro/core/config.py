@@ -17,6 +17,15 @@ class CondorConfig:
 
     #: Coordinator polling/allocation period (§2.1: "every two minutes").
     poll_interval: float = 2 * MINUTE
+    #: How the coordinator learns cluster state each cycle:
+    #: ``"delta"`` — local schedulers push ``state_update`` messages when
+    #: their observable state changes and the coordinator allocates from a
+    #: materialized view (scales to thousands of stations);
+    #: ``"poll"`` — the 1988 behaviour: a full RPC fan-out every cycle.
+    coordinator_mode: str = "delta"
+    #: In delta mode, run a full anti-entropy poll every this many cycles
+    #: to repair the view after lost pushes and catch silent reboots.
+    anti_entropy_interval: int = 15
     #: Grace a stopped job waits on a reclaimed station before being
     #: checkpointed off (§4: "within 5 minutes").
     grace_period: float = 5 * MINUTE
@@ -48,6 +57,14 @@ class CondorConfig:
     #: Coordinator cycle CPU cost: base + per-station seconds (<1 %, §3.1).
     coordinator_cycle_base_cost: float = 0.05
     coordinator_cycle_per_station_cost: float = 0.01
+    #: Cost per unit of work actually done in a delta-mode cycle (one
+    #: state update absorbed or one targeted probe sent).
+    coordinator_cycle_per_update_cost: float = 0.01
+    #: What the per-cycle overhead scales with: ``"per_station"`` (every
+    #: registered station, the 1988 model), ``"per_update"`` (work
+    #: actually done), or ``"auto"`` — per_station under polling,
+    #: per_update under the delta protocol.
+    coordinator_overhead_model: str = "auto"
     #: Poll RPC timeout — a silent station is considered down.
     rpc_timeout: float = 10.0
     #: Save the text segment in checkpoints (§2.3 says yes; the shared-
@@ -74,3 +91,15 @@ class CondorConfig:
             raise SimulationError("periodic_checkpoint_interval must be > 0")
         if not 0 <= self.scheduler_daemon_load < 1:
             raise SimulationError("scheduler_daemon_load must be in [0, 1)")
+        if self.coordinator_mode not in ("delta", "poll"):
+            raise SimulationError(
+                f"unknown coordinator_mode {self.coordinator_mode!r}"
+            )
+        if self.anti_entropy_interval < 1:
+            raise SimulationError("anti_entropy_interval must be >= 1")
+        if self.coordinator_overhead_model not in ("auto", "per_station",
+                                                   "per_update"):
+            raise SimulationError(
+                f"unknown coordinator_overhead_model "
+                f"{self.coordinator_overhead_model!r}"
+            )

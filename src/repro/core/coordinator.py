@@ -1,11 +1,26 @@
 """The central coordinator daemon.
 
-Every two minutes (§2.1) the coordinator polls all local schedulers and
-learns which stations are idle and which have background jobs waiting.
-It then grants idle-station capacity to requesting stations — at most one
-placement per cycle system-wide (§4) — and, when no station is idle but a
-deprived station wants cycles, orders a priority preemption of a running
-job whose home hoards capacity (§2.4, the Up-Down algorithm).
+Every two minutes (§2.1) the coordinator allocates idle-station capacity
+to requesting stations — at most one placement per cycle system-wide
+(§4) — and, when no station is idle but a deprived station wants cycles,
+orders a priority preemption of a running job whose home hoards capacity
+(§2.4, the Up-Down algorithm).
+
+How it learns cluster state depends on ``config.coordinator_mode``:
+
+* ``"poll"`` — the 1988 behaviour: a full RPC fan-out to every station
+  every cycle.  Simple, but each cycle costs O(N) messages even when
+  nothing changed, which caps the cluster size the paper itself noted
+  ("a coordinator can manage as many as 100 workstations", §3.1).
+* ``"delta"`` (default) — local schedulers push ``state_update``
+  messages only when their observable state changes and the coordinator
+  allocates from a materialized :class:`~repro.core.cluster_view.ClusterView`.
+  Each cycle it probes only the stations it *must* hear from — hosts
+  running foreign jobs (prompt lost-host detection), stations never
+  heard from, and quarantined stations — and every
+  ``anti_entropy_interval`` cycles it falls back to one full poll that
+  repairs any drift from lost pushes and catches silent crash+reboots.
+  A quiet cycle costs O(active placements), not O(N).
 
 Deliberately thin, per the paper's design philosophy: it keeps *no* job
 state, only allocation bookkeeping, so its failure stops new allocations
@@ -15,6 +30,7 @@ but affects nothing already running, and it can be restarted anywhere.
 import time as _wallclock
 
 from repro.core import events as ev
+from repro.core.cluster_view import ClusterView
 from repro.machine.accounting import COORDINATOR
 from repro.net import Node
 from repro.sim import Signal
@@ -22,13 +38,49 @@ from repro.sim.errors import SimulationError
 
 
 class PollResult:
-    """What one cycle of polling learned about the cluster."""
+    """What one round of polling learned about the polled stations."""
 
     __slots__ = ("replies", "unreachable")
 
     def __init__(self, replies, unreachable):
         self.replies = replies          # name -> poll reply dict
         self.unreachable = unreachable  # set of names that timed out
+
+
+class CycleSnapshot:
+    """What one cycle's allocation pass knows about the cluster.
+
+    Built either from a full poll's replies (poll mode) or from the
+    materialized view (delta mode); the allocation code downstream is
+    identical.  ``states`` maps station name to its observed state dict,
+    ``idle_hosts`` lists grantable stations in the deterministic order
+    allocation relies on, ``holders`` lists ``(host, home)`` for every
+    machine reporting a foreign job.
+    """
+
+    __slots__ = ("states", "wanting", "held_counts", "idle_hosts",
+                 "holders", "unreachable", "live_idle")
+
+    def __init__(self, states, wanting, held_counts, idle_hosts, holders,
+                 unreachable, live_idle=False):
+        self.states = states
+        self.wanting = wanting
+        self.held_counts = held_counts
+        self.idle_hosts = idle_hosts
+        self.holders = holders
+        self.unreachable = unreachable
+        #: Whether ``current_idle`` must be derived from ``idle_since``
+        #: (view states are not re-stamped at every cycle).
+        self.live_idle = live_idle
+
+    def current_idle(self, name, now):
+        """How long ``name`` has been idle, as of this cycle."""
+        state = self.states[name]
+        if self.live_idle:
+            if not state["idle"]:
+                return 0.0
+            return now - state["idle_since"]
+        return state["current_idle"]
 
 
 class Coordinator(Node):
@@ -54,19 +106,28 @@ class Coordinator(Node):
         self.reservations = reservations
         for name in self.station_names:
             policy.register_station(name)
-        #: host -> home map from the previous cycle's replies, used to
-        #: detect jobs stranded by a host that stopped answering.
+        #: host -> home this coordinator believes is placed there; poll
+        #: replies/pushed states plus provisional entries for grants
+        #: issued this cycle, used to detect jobs stranded by a host that
+        #: stopped answering.
         self._hosting_map = {}
-        #: host -> boot epoch from the previous cycle; a changed epoch
-        #: means the host crashed and rebooted between polls, silently
+        #: host -> boot epoch last observed; a changed epoch means the
+        #: host crashed and rebooted between observations, silently
         #: killing whatever it hosted.
         self._boot_epochs = {}
+        #: Materialized cluster state for the delta protocol.
+        self.view = ClusterView(self.station_names)
+        self._cycle_index = 0
+        #: Work units (updates absorbed + probes sent) since the last
+        #: overhead charge — what a delta-mode cycle actually cost.
+        self._work_units = 0
         self._last_update_at = None
         self._process = None
         #: Cycle counters for reports.
         self.cycles = 0
         self.grants_issued = 0
         self.preemptions_ordered = 0
+        self.register_handler("state_update", self._handle_state_update)
         net.attach(self)
 
     def start(self):
@@ -75,32 +136,39 @@ class Coordinator(Node):
             self._process = self.sim.spawn(self._run(), name="coordinator")
 
     def _run(self):
+        delta = self.config.coordinator_mode == "delta"
         while True:
             yield self.config.poll_interval
             if self.crashed:
                 continue
-            poll = yield from self._poll_all()
-            self._detect_lost_hosts(poll)
-            self._allocate(poll)
+            if delta:
+                yield from self._refresh_view()
+                snapshot = self._snapshot_from_view()
+            else:
+                poll = yield from self._poll_all(self.station_names)
+                self._detect_lost_hosts(poll)
+                self._work_units += len(poll.replies)
+                snapshot = self._snapshot_from_poll(poll)
+            self._allocate(snapshot)
             self._charge_overhead()
 
     # ------------------------------------------------------------------
     # polling
 
-    def _poll_all(self):
-        """Poll every station concurrently; collect replies/timeouts.
+    def _poll_all(self, targets):
+        """Poll the target stations concurrently; collect replies/timeouts.
 
         One batched fan-out: each poll RPC delivers straight into a
         callback (no per-RPC Signal), and a single deadline timer covers
-        the whole cycle instead of one timeout event per station.  The
-        process resumes once, when every station answered or the deadline
-        passed.  Replies settle in station order (uniform LAN latency),
+        the whole round instead of one timeout event per station.  The
+        process resumes once, when every target answered or the deadline
+        passed.  Replies settle in target order (uniform LAN latency),
         so the reply dict's iteration order — which downstream allocation
         code relies on for determinism — is unchanged.
         """
         replies = {}
         done = Signal(name="poll-cycle")
-        remaining = len(self.station_names)
+        remaining = len(targets)
 
         def on_reply(name):
             def settle(outcome):
@@ -113,14 +181,13 @@ class Coordinator(Node):
                     done.fire(None)
             return settle
 
-        for name in self.station_names:
+        for name in targets:
             self.net.rpc(name, "poll", None, timeout=None,
                          callback=on_reply(name))
         deadline = self.sim.schedule(self.config.rpc_timeout, done.fire, None)
         yield done
         deadline.cancel()
-        unreachable = {name for name in self.station_names
-                       if name not in replies}
+        unreachable = {name for name in targets if name not in replies}
         return PollResult(replies, unreachable)
 
     def _detect_lost_hosts(self, poll):
@@ -150,10 +217,132 @@ class Coordinator(Node):
             for name, reply in poll.replies.items()
         }
 
+    def _snapshot_from_poll(self, poll):
+        replies = poll.replies
+        wanting = {name for name, reply in replies.items()
+                   if reply["pending"] > 0 or reply.get("pending_gangs")}
+        held_counts = {}
+        holders = []
+        for name, reply in replies.items():
+            home = reply["hosting_home"]
+            if home is not None:
+                held_counts[home] = held_counts.get(home, 0) + 1
+                holders.append((name, home))
+        idle_hosts = [
+            name for name, reply in replies.items()
+            if reply["idle"] and reply["hosting_home"] is None
+            and reply["free_mb"] > 0
+        ]
+        return CycleSnapshot(replies, wanting, held_counts, idle_hosts,
+                             holders, poll.unreachable)
+
+    # ------------------------------------------------------------------
+    # delta protocol
+
+    def _refresh_view(self):
+        """Bring the materialized view current enough to allocate from.
+
+        Quiet cycles cost two latency hops (so allocation happens at the
+        same instant a full poll's would) and zero messages.  Cycles with
+        active placements probe just those hosts; never-heard-from and
+        quarantined stations are probed until they answer; and every
+        ``anti_entropy_interval``-th cycle polls everything.
+        """
+        self._cycle_index += 1
+        anti_entropy = (
+            self._cycle_index % self.config.anti_entropy_interval == 0)
+        if anti_entropy:
+            targets = self.station_names
+            self.bus.metrics.counter("coordinator.anti_entropy_polls").inc()
+        else:
+            targets = []
+            seen = set()
+            for name in self.station_names:
+                if (name in self._hosting_map
+                        or name in self.view.quarantined
+                        or not self.view.known(name)):
+                    if name not in seen:
+                        seen.add(name)
+                        targets.append(name)
+        if not targets:
+            # No probes needed; still wait the two message hops a poll
+            # round takes, so state changes already in flight settle and
+            # allocation sees exactly what polling mode would have.
+            yield self.net.latency
+            yield self.net.latency
+            return
+        self._work_units += len(targets)
+        self.bus.metrics.counter("coordinator.probes_sent").inc(len(targets))
+        poll = yield from self._poll_all(targets)
+        for name, reply in poll.replies.items():
+            self._absorb(name, reply, from_reply=True)
+        for name in poll.unreachable:
+            self._note_unreachable(name)
+
+    def _handle_state_update(self, payload):
+        """A local scheduler pushed its new observable state."""
+        if self.config.coordinator_mode != "delta":
+            return
+        name = payload["station"]
+        if name in self.view.order:
+            self._absorb(name, payload["state"], from_reply=False)
+
+    def _absorb(self, name, state, from_reply):
+        """Fold one state observation into the view and bookkeeping."""
+        # Reboot signature first (mirrors _detect_lost_hosts): the host we
+        # believed was running a foreign job reports a fresh boot with an
+        # empty slot — the job died with the old incarnation.
+        home = self._hosting_map.get(name)
+        if (home is not None
+                and state["boot_epoch"] != self._boot_epochs.get(name)
+                and state["hosting_home"] is None):
+            del self._hosting_map[name]
+            self.net.message(home, "host_lost", {"host": name})
+        prev_seq = self.view.seqs.get(name)
+        applied = self.view.apply(name, state, from_reply=from_reply)
+        metrics = self.bus.metrics
+        if not applied:
+            metrics.counter("coordinator.updates_stale").inc()
+            return
+        self._work_units += 1
+        metrics.counter("coordinator.updates_applied").inc()
+        self._boot_epochs[name] = state["boot_epoch"]
+        if state["hosting_home"] is not None:
+            self._hosting_map[name] = state["hosting_home"]
+        else:
+            # Mirrors the full-poll rebuild: a host answering with an
+            # empty slot clears any provisional grant entry for it.
+            self._hosting_map.pop(name, None)
+        if (from_reply and prev_seq is not None
+                and state.get("seq") is not None
+                and state["seq"] > prev_seq):
+            # A pushed update never arrived; the anti-entropy poll (or a
+            # probe) repaired the drift.  Absent on a healthy network.
+            self.bus.publish(ev.COORDINATOR_VIEW_REPAIR, station=name,
+                             time=self.sim.now, seq_from=prev_seq,
+                             seq_to=state["seq"])
+            metrics.counter("coordinator.view_repairs").inc()
+
+    def _note_unreachable(self, name):
+        """A probed station failed to answer: quarantine it and notify
+        the home of any job it was hosting (once per outage)."""
+        home = self._hosting_map.pop(name, None)
+        if home is not None:
+            self.net.message(home, "host_lost", {"host": name})
+        self.view.quarantine(name)
+
+    def _snapshot_from_view(self):
+        view = self.view
+        holders = [(host, view.hosting[host])
+                   for host in sorted(view.hosting, key=view.order.__getitem__)]
+        return CycleSnapshot(view.states, view.wanting, view.held_counts,
+                             view.idle_hosts(), holders,
+                             view.quarantined, live_idle=True)
+
     # ------------------------------------------------------------------
     # allocation
 
-    def _allocate(self, poll):
+    def _allocate(self, snapshot):
         cycle_started = _wallclock.perf_counter()
         self.cycles += 1
         now = self.sim.now
@@ -161,45 +350,38 @@ class Coordinator(Node):
               else self.config.poll_interval)
         self._last_update_at = now
 
-        wanting = {name for name, reply in poll.replies.items()
-                   if reply["pending"] > 0 or reply.get("pending_gangs")}
-        allocated_counts = {}
-        for reply in poll.replies.values():
-            home = reply["hosting_home"]
-            if home is not None:
-                allocated_counts[home] = allocated_counts.get(home, 0) + 1
+        wanting = snapshot.wanting
+        allocated_counts = snapshot.held_counts
         self.policy.update(wanting, allocated_counts, dt)
 
-        idle_hosts = [
-            name for name, reply in poll.replies.items()
-            if reply["idle"] and reply["hosting_home"] is None
-            and reply["free_mb"] > 0
-        ]
+        idle_hosts = snapshot.idle_hosts
         ranked = self.policy.rank_requesters(wanting)
 
         reserved_grants, reserved_preemptions, used_hosts = (
-            self._serve_reservations(poll, wanting, allocated_counts,
+            self._serve_reservations(snapshot, wanting, allocated_counts,
                                      idle_hosts)
         )
-        idle_hosts = [h for h in idle_hosts if h not in used_hosts]
-        gang_grants = self._serve_gangs(poll, ranked, idle_hosts)
-        gang_hosts = {h for _req, hosts in gang_grants for h in hosts}
-        idle_hosts = [h for h in idle_hosts if h not in gang_hosts]
+        if used_hosts:
+            idle_hosts = [h for h in idle_hosts if h not in used_hosts]
+        gang_grants = self._serve_gangs(snapshot, ranked, idle_hosts)
+        if gang_grants:
+            gang_hosts = {h for _req, hosts in gang_grants for h in hosts}
+            idle_hosts = [h for h in idle_hosts if h not in gang_hosts]
         grants = reserved_grants + self._issue_grants(
-            poll, ranked, idle_hosts, allocated_counts)
+            snapshot, ranked, idle_hosts, allocated_counts)
         # Record grants provisionally so a host that crashes right after
         # taking a fresh placement is covered by next cycle's detection
         # (if the placement never started, the home ignores the notice).
         for requester, host in grants:
             self._hosting_map[host] = requester
         preemptions = reserved_preemptions + self._order_preemptions(
-            poll, ranked, grants, idle_hosts, allocated_counts)
+            snapshot, ranked, grants, idle_hosts, allocated_counts)
         self.bus.publish(
             ev.COORDINATOR_CYCLE,
             time=now, wanting=sorted(wanting), idle=sorted(idle_hosts),
             grants=grants, preemptions=preemptions,
             gang_grants=gang_grants,
-            unreachable=sorted(poll.unreachable),
+            unreachable=sorted(snapshot.unreachable),
         )
         metrics = self.bus.metrics
         metrics.counter("coordinator.cycles").inc()
@@ -213,7 +395,7 @@ class Coordinator(Node):
             _wallclock.perf_counter() - cycle_started
         )
 
-    def _serve_gangs(self, poll, ranked, idle_hosts):
+    def _serve_gangs(self, snapshot, ranked, idle_hosts):
         """Co-allocate machines for pending parallel programs (§5(2)).
 
         A gang launches only when its full width of machines is idle in
@@ -222,18 +404,19 @@ class Coordinator(Node):
         paper predicted).  One gang per station per cycle.
         """
         grants = []
-        available = list(idle_hosts)
+        states = snapshot.states
+        taken = 0   # prefix of idle_hosts already handed to earlier gangs
         for requester in ranked:
-            reply = poll.replies.get(requester)
-            if not reply or not reply.get("pending_gangs"):
+            state = states.get(requester)
+            if not state or not state.get("pending_gangs"):
                 continue
-            width = reply["pending_gangs"][0]
-            if len(available) < width:
+            width = state["pending_gangs"][0]
+            if len(idle_hosts) - taken < width:
                 continue
-            chosen = available[:width]
-            available = available[width:]
+            chosen = idle_hosts[taken:taken + width]
+            taken += width
             hosts_payload = [
-                (h, poll.replies[h]["free_mb"], poll.replies[h]["arch"])
+                (h, states[h]["free_mb"], states[h]["arch"])
                 for h in chosen
             ]
             self.net.message(requester, "gang_grant",
@@ -244,7 +427,7 @@ class Coordinator(Node):
             grants.append((requester, tuple(chosen)))
         return grants
 
-    def _serve_reservations(self, poll, wanting, allocated_counts,
+    def _serve_reservations(self, snapshot, wanting, allocated_counts,
                             idle_hosts):
         """Grant (or free by preemption) machines owed to active
         reservations.  Bypasses the placement throttle and per-station
@@ -259,28 +442,32 @@ class Coordinator(Node):
         grants = []
         preemptions = []
         used = set()
+        states = snapshot.states
+        # Idle hosts are consumed front to back and never returned, so a
+        # single shared iterator replaces the old O(N) rescan per grant.
+        idle_iter = iter(idle_hosts)
         for station in sorted(counts):
             if station not in wanting:
                 continue
-            reply = poll.replies.get(station)
-            if reply is None:
+            state = states.get(station)
+            if state is None:
                 continue
             deficit = counts[station] - allocated_counts.get(station, 0)
-            deficit = min(deficit, reply["pending"])
+            deficit = min(deficit, state["pending"])
             while deficit > 0:
-                host = next((h for h in idle_hosts if h not in used), None)
+                host = next(idle_iter, None)
                 if host is not None:
                     used.add(host)
                     grants.append((station, host))
                     self.grants_issued += 1
                     self.net.message(station, "grant", {
                         "host": host,
-                        "free_mb": poll.replies[host]["free_mb"],
-                        "arch": poll.replies[host]["arch"],
+                        "free_mb": states[host]["free_mb"],
+                        "arch": states[host]["arch"],
                     })
                     self._hosting_map[host] = station
                 else:
-                    victim = self._reservation_victim(poll, counts, used,
+                    victim = self._reservation_victim(snapshot, counts, used,
                                                       station)
                     if victim is None:
                         break
@@ -293,28 +480,33 @@ class Coordinator(Node):
                 deficit -= 1
         return grants, preemptions, used
 
-    def _reservation_victim(self, poll, reserved_counts, used, requester):
+    def _reservation_victim(self, snapshot, reserved_counts, used, requester):
         """A host to evict for a reservation: hosting for a station that
         is neither the requester nor itself a reservation beneficiary,
         richest (highest policy index) first."""
         candidates = [
-            (name, reply["hosting_home"])
-            for name, reply in poll.replies.items()
-            if reply["hosting_home"] is not None and name not in used
-            and reply["hosting_home"] != requester
-            and reply["hosting_home"] not in reserved_counts
+            (host, home)
+            for host, home in snapshot.holders
+            if host not in used and home != requester
+            and home not in reserved_counts
         ]
         if not candidates:
             return None
         index = getattr(self.policy, "index", lambda name: 0.0)
         return max(candidates, key=lambda pair: (index(pair[1]), pair[0]))[0]
 
-    def _issue_grants(self, poll, ranked, idle_hosts, allocated_counts):
-        """Hand idle machines to requesters in priority order."""
+    def _issue_grants(self, snapshot, ranked, idle_hosts, allocated_counts):
+        """Hand idle machines to requesters in priority order.
+
+        ``available`` is a set (O(1) removal — the old list.remove made
+        a busy cycle O(grants x idle)); host selection is order-free
+        because every mode totals-orders candidates by a key ending in
+        the station name.
+        """
         budget = self.config.placements_per_cycle
         per_station = self.config.grants_per_station_per_cycle
         cap = self.config.max_machines_per_station
-        available = list(idle_hosts)
+        available = set(idle_hosts)
         grants = []
         granted_to = {}
         progress = True
@@ -329,21 +521,22 @@ class Coordinator(Node):
                         allocated_counts.get(requester, 0)
                         + granted_to.get(requester, 0)) >= cap:
                     continue
-                host = self._select_host(poll, available)
-                available.remove(host)
+                host = self._select_host(snapshot, available)
+                available.discard(host)
                 grants.append((requester, host))
                 granted_to[requester] = granted_to.get(requester, 0) + 1
                 budget -= 1
                 progress = True
+        states = snapshot.states
         for requester, host in grants:
             self.grants_issued += 1
             self.net.message(requester, "grant", {
-                "host": host, "free_mb": poll.replies[host]["free_mb"],
-                "arch": poll.replies[host]["arch"],
+                "host": host, "free_mb": states[host]["free_mb"],
+                "arch": states[host]["arch"],
             })
         return grants
 
-    def _select_host(self, poll, candidates):
+    def _select_host(self, snapshot, candidates):
         """Choose which idle machine to hand out next.
 
         ``arbitrary`` — deterministic by name (the deployed behaviour);
@@ -356,13 +549,17 @@ class Coordinator(Node):
         if mode == "arbitrary":
             return min(candidates)
         if mode == "longest_history":
+            states = snapshot.states
+
             def history(name):
-                mean = poll.replies[name]["mean_idle"]
+                mean = states[name]["mean_idle"]
                 return mean if mean is not None else float("inf")
             return max(candidates, key=lambda n: (history(n), n))
-        return max(candidates, key=lambda n: (poll.replies[n]["current_idle"], n))
+        now = self.sim.now
+        return max(candidates,
+                   key=lambda n: (snapshot.current_idle(n, now), n))
 
-    def _order_preemptions(self, poll, ranked, grants, idle_hosts,
+    def _order_preemptions(self, snapshot, ranked, grants, idle_hosts,
                            allocated_counts):
         """When the pool is exhausted, evict for deprived requesters."""
         if not self.policy.allows_preemption:
@@ -372,9 +569,8 @@ class Coordinator(Node):
         granted = {requester for requester, _host in grants}
         used_hosts = {host for _requester, host in grants}
         holders = [
-            (name, reply["hosting_home"])
-            for name, reply in poll.replies.items()
-            if reply["hosting_home"] is not None and name not in used_hosts
+            (host, home) for host, home in snapshot.holders
+            if host not in used_hosts
         ]
         if set(idle_hosts) - used_hosts:
             # Machines are still idle (the placement throttle held them
@@ -387,12 +583,13 @@ class Coordinator(Node):
         holders = [(host, home) for host, home in holders
                    if home not in reserved]
         preemptions = []
+        states = snapshot.states
         for requester in ranked:
             if budget == 0:
                 break
             if requester in granted:
                 continue
-            if poll.replies[requester]["pending"] == 0:
+            if states[requester]["pending"] == 0:
                 # Only a gang is waiting: a single preempted machine
                 # cannot launch it, so evicting anyone would be waste.
                 continue
@@ -413,11 +610,22 @@ class Coordinator(Node):
         return preemptions
 
     def _charge_overhead(self):
+        work = self._work_units
+        self._work_units = 0
         if self.host_station is None:
             return
-        cost = (self.config.coordinator_cycle_base_cost
-                + self.config.coordinator_cycle_per_station_cost
-                * len(self.station_names))
+        model = self.config.coordinator_overhead_model
+        if model == "auto":
+            model = ("per_update"
+                     if self.config.coordinator_mode == "delta"
+                     else "per_station")
+        if model == "per_station":
+            cost = (self.config.coordinator_cycle_base_cost
+                    + self.config.coordinator_cycle_per_station_cost
+                    * len(self.station_names))
+        else:
+            cost = (self.config.coordinator_cycle_base_cost
+                    + self.config.coordinator_cycle_per_update_cost * work)
         self.host_station.ledger.charge(COORDINATOR, cost)
 
     # ------------------------------------------------------------------
@@ -432,9 +640,13 @@ class Coordinator(Node):
 
         Only the schedule indexes' history is lost if the caller swaps in
         a fresh policy; allocation state is rebuilt from the next poll.
+        In delta mode the view is wiped — pushes sent while the
+        coordinator was down are gone for good, so every station is
+        treated as unknown and probed back into the view.
         """
         self.host_station = station
         self.crashed = False
+        self.view.reset()
 
     def __repr__(self):
         return (

@@ -17,6 +17,7 @@ from repro.sim.errors import SimulationError
 from repro.telemetry import TelemetryHub
 from repro.telemetry.kinds import (  # noqa: F401  (re-exported vocabulary)
     COORDINATOR_CYCLE,
+    COORDINATOR_VIEW_REPAIR,
     HOST_LOST,
     JOB_COMPLETED,
     JOB_FAILED,

@@ -91,6 +91,15 @@ class LocalScheduler(Node):
         #: Placement start times by job id (placement-latency metric).
         self._placement_started = {}
         self._started = False
+        #: Delta protocol: push ``state_update`` messages instead of
+        #: waiting to be polled.  One coalesced push per simulation
+        #: timestamp with an observable change, tagged with a monotonic
+        #: per-sender sequence number so the coordinator can discard
+        #: stale reordered updates.
+        self._push_enabled = config.coordinator_mode == "delta"
+        self._push_seq = 0
+        self._last_pushed = None
+        self._flush_handle = None
 
         net.attach(self)
         self.register_handler("poll", self._handle_poll)
@@ -115,6 +124,53 @@ class LocalScheduler(Node):
         if self.config.scheduler_daemon_load > 0:
             self.sim.spawn(self._daemon_overhead(),
                            name=f"{self.name}.daemon")
+        # Announce the initial state so the coordinator's view covers us
+        # without waiting for its first full probe.
+        self._mark_dirty()
+
+    # ------------------------------------------------------------------
+    # delta protocol (push side)
+
+    def _observable_state(self):
+        """The fields the coordinator allocates from (poll or push)."""
+        return {
+            "idle": self.station.idle,
+            "hosting_home": self.hosted.home_name if self.hosted else None,
+            "pending": self.queue.pending_count,
+            "free_mb": self.station.disk.free_mb,
+            "mean_idle": self.station.mean_idle_interval(),
+            "idle_since": self.station.idle_since,
+            "boot_epoch": self.boot_epoch,
+            "arch": self.station.arch,
+            "pending_gangs": [gang.width for gang in self.pending_gangs],
+        }
+
+    def _mark_dirty(self):
+        """Observable state may have changed: schedule one coalesced push.
+
+        Zero-delay, so every same-timestamp mutation lands in a single
+        ``state_update`` carrying the settled state — N queue operations
+        in one event cost one message, not N.
+        """
+        if not self._push_enabled or self.crashed:
+            return
+        if self._flush_handle is None:
+            self._flush_handle = self.sim.schedule(0.0, self._flush_state)
+
+    def _flush_state(self):
+        self._flush_handle = None
+        if self.crashed:
+            return
+        state = self._observable_state()
+        if state == self._last_pushed:
+            return
+        self._last_pushed = state
+        self._push_seq += 1
+        if self.net.knows("coordinator"):
+            self.net.message("coordinator", "state_update", {
+                "station": self.name,
+                "state": {**state, "seq": self._push_seq},
+            })
 
     def _daemon_overhead(self):
         # Book the daemon's small background load in hourly chunks so the
@@ -156,6 +212,7 @@ class LocalScheduler(Node):
         ))
         self.queue.enqueue(job)
         self.bus.publish(ev.JOB_SUBMITTED, job=job, station=self.name)
+        self._mark_dirty()
 
     def remove(self, job):
         """Withdraw a *pending* job (completed/placed jobs cannot be)."""
@@ -167,19 +224,20 @@ class LocalScheduler(Node):
         self.store.discard(job.id)
         job.transition(jobstate.REMOVED)
         self.bus.publish(ev.JOB_REMOVED, job=job, station=self.name)
+        self._mark_dirty()
 
     def _handle_poll(self, payload):
-        """Answer the coordinator: am I idle, what do I want, whom do I host."""
+        """Answer the coordinator: am I idle, what do I want, whom do I host.
+
+        The reply is the pushed observable state plus ``current_idle``
+        (stamped fresh — only polls need it pre-computed) and the seq of
+        the last push, so a reply absorbed into the delta-protocol view
+        can never be overridden by an older in-flight push.
+        """
         return {
-            "idle": self.station.idle,
-            "hosting_home": self.hosted.home_name if self.hosted else None,
-            "pending": self.queue.pending_count,
-            "free_mb": self.station.disk.free_mb,
-            "mean_idle": self.station.mean_idle_interval(),
+            **self._observable_state(),
             "current_idle": self.station.current_idle_seconds(),
-            "boot_epoch": self.boot_epoch,
-            "arch": self.station.arch,
-            "pending_gangs": [gang.width for gang in self.pending_gangs],
+            "seq": self._push_seq,
         }
 
     def submit_gang(self, gang):
@@ -210,6 +268,7 @@ class LocalScheduler(Node):
             self.bus.publish(ev.JOB_SUBMITTED, job=member,
                              station=self.name)
         self.pending_gangs.append(gang)
+        self._mark_dirty()
 
     def _handle_gang_grant(self, payload):
         """The coordinator co-allocated machines: launch a whole gang."""
@@ -228,6 +287,7 @@ class LocalScheduler(Node):
                 # This member cannot use its assigned machine; it falls
                 # back to the ordinary queue and catches up later.
                 self.queue.return_to_pending(member)
+        self._mark_dirty()
 
     def _handle_grant(self, payload):
         """The coordinator granted us a machine — place our next job on it."""
@@ -239,6 +299,7 @@ class LocalScheduler(Node):
             return
         self.queue.mark_active(job)
         self._begin_placement(job, host_name)
+        self._mark_dirty()
 
     def _begin_placement(self, job, host_name):
         """Ship the job's image to the host and ask it to start."""
@@ -305,6 +366,7 @@ class LocalScheduler(Node):
         reason = detail[1] if status == "ok" else "host_unreachable"
         self.bus.publish(ev.JOB_PLACEMENT_FAILED, job=job, host=host_name,
                          reason=reason)
+        self._mark_dirty()
 
     def _record_slices(self, job, slices):
         """Book shadow syscall support for the reported execution slices."""
@@ -342,6 +404,7 @@ class LocalScheduler(Node):
         self.queue.return_to_pending(job)
         self.bus.publish(ev.JOB_VACATED, job=job, host=host,
                          reason=payload["reason"])
+        self._mark_dirty()
 
     def _handle_job_completed(self, payload):
         job = payload["job"]
@@ -356,6 +419,7 @@ class LocalScheduler(Node):
         if shadow is not None:
             shadow.retire()
         self.bus.publish(ev.JOB_COMPLETED, job=job, station=self.name)
+        self._mark_dirty()
 
     def _handle_job_killed(self, payload):
         """Butler-mode: our job was killed without a checkpoint."""
@@ -368,6 +432,7 @@ class LocalScheduler(Node):
         job.transition(jobstate.PENDING)
         self.queue.return_to_pending(job)
         self.bus.publish(ev.JOB_KILLED, job=job, host=host)
+        self._mark_dirty()
 
     def _handle_host_lost(self, payload):
         """Coordinator says a machine hosting our job went down."""
@@ -379,6 +444,7 @@ class LocalScheduler(Node):
         job.transition(jobstate.PENDING)
         self.queue.return_to_pending(job)
         self.bus.publish(ev.HOST_LOST, job=job, host=host)
+        self._mark_dirty()
 
     def _handle_periodic_checkpoint(self, payload):
         """A periodic (in-place) checkpoint image arrived from the host."""
@@ -407,6 +473,7 @@ class LocalScheduler(Node):
             job.periodic_checkpoint_count += 1
             self.bus.publish(ev.JOB_PERIODIC_CHECKPOINT, job=job,
                              station=self.name)
+            self._mark_dirty()
         except DiskFullError:
             pass  # keep the older image; strictly worse but safe
 
@@ -442,6 +509,7 @@ class LocalScheduler(Node):
         self.station.running_job = job
         self._begin_run_slice()
         self.bus.publish(ev.JOB_PLACED, job=job, host=self.name, home=home)
+        self._mark_dirty()
         return ("started", None)
 
     def _begin_run_slice(self):
@@ -479,6 +547,9 @@ class LocalScheduler(Node):
         hosted.slices.append((t0, t1))
 
     def _owner_changed(self, station, active):
+        # The idle flag flipped whether or not we host anyone — the
+        # coordinator's view must hear about it.
+        self._mark_dirty()
         if self.hosted is None:
             return
         job = self.hosted.job
@@ -545,6 +616,7 @@ class LocalScheduler(Node):
             "job": hosted.job, "host": self.name, "slices": hosted.slices,
             "image_mb": image_mb, "reason": reason,
         })
+        self._mark_dirty()
 
     def _kill_hosted(self):
         """Butler-mode removal: terminate without saving state (§1)."""
@@ -556,6 +628,7 @@ class LocalScheduler(Node):
         self.net.message(hosted.home_name, "job_killed", {
             "job": hosted.job, "host": self.name, "slices": hosted.slices,
         })
+        self._mark_dirty()
 
     def _hosted_job_finished(self):
         """The hosted job's demand is met."""
@@ -568,6 +641,7 @@ class LocalScheduler(Node):
         self.net.message(hosted.home_name, "job_completed", {
             "job": hosted.job, "host": self.name, "slices": hosted.slices,
         })
+        self._mark_dirty()
 
     def _take_periodic_checkpoint(self):
         """Ship a checkpoint home while the job keeps running (§4 plan)."""
@@ -636,6 +710,9 @@ class LocalScheduler(Node):
             return
         self.crashed = False
         self.boot_epoch += 1
+        # The bumped epoch is itself the readmission ticket: a push with
+        # a newer boot epoch lifts the coordinator's quarantine.
+        self._mark_dirty()
 
     def __repr__(self):
         return (

@@ -12,6 +12,18 @@ A lower index means higher priority.  The effect the paper demonstrates
 large index and queues behind light users, whose occasional small batches
 are served immediately — yet the heavy user still soaks up all capacity
 nobody else wants.
+
+Index maintenance is incremental.  :meth:`update` touches only the
+stations that hold or want capacity this cycle — O(changed), not O(N) —
+while every other station is merely *decaying*, which needs no work at
+all until somebody looks at its index.  Each cycle's duration is appended
+to a shared history; a station's index is materialized on demand by
+replaying the decay steps it missed, stopping early once the value hits
+exactly zero (after which further decay is the identity).  The replay
+applies the same float operations in the same order as the original
+every-station-every-cycle loop, so materialized values are bit-identical
+to the eager implementation — a requirement of the delta-vs-poll
+golden-trace equivalence test.
 """
 
 from repro.sim.errors import SimulationError
@@ -45,14 +57,46 @@ class UpDownPolicy:
         self.decay_rate = decay_rate
         self.preemption_margin = preemption_margin
         self._index = {}
+        #: dt (minutes) of every cycle seen so far; the decay schedule a
+        #: lagging station replays when its index is next needed.
+        self._history = []
+        #: name -> number of history entries already folded into _index.
+        self._synced = {}
 
     def register_station(self, name):
         """Start tracking a station; initial index is zero (§2.4)."""
-        self._index.setdefault(name, 0.0)
+        if name not in self._index:
+            self._index[name] = 0.0
+            self._synced[name] = len(self._history)
+
+    def _materialize(self, name, through):
+        """Replay the decay steps ``name`` missed, up to cycle ``through``."""
+        synced = self._synced[name]
+        if synced >= through:
+            return
+        value = self._index[name]
+        if value == 0.0:
+            self._synced[name] = through
+            return
+        history = self._history
+        decay_rate = self.decay_rate
+        for k in range(synced, through):
+            step = decay_rate * history[k]
+            if value > 0:
+                value = max(0.0, value - step)
+            elif value < 0:
+                value = min(0.0, value + step)
+            if value == 0.0:
+                break
+        self._index[name] = value
+        self._synced[name] = through
 
     def index(self, name):
         """Current schedule index of ``name`` (0.0 if never seen)."""
-        return self._index.get(name, 0.0)
+        if name not in self._index:
+            return 0.0
+        self._materialize(name, len(self._history))
+        return self._index[name]
 
     def update(self, wanting, allocated_counts, dt_seconds):
         """One coordinator cycle's index maintenance.
@@ -60,22 +104,30 @@ class UpDownPolicy:
         ``wanting`` — stations with pending jobs that got nothing yet;
         ``allocated_counts`` — station -> number of machines it holds;
         ``dt_seconds`` — time since the previous update.
+
+        Only the active stations are touched; everyone else decays
+        lazily against the appended history entry.
         """
         dt_minutes = dt_seconds / 60.0
-        for name in self._index:
+        self._history.append(dt_minutes)
+        cycle = len(self._history)
+        index = self._index
+        for name in wanting:
+            if name not in index:
+                continue
+            self._materialize(name, cycle - 1)
             held = allocated_counts.get(name, 0)
             if held > 0:
-                self._index[name] += self.up_rate * held * dt_minutes
-            elif name in wanting:
-                self._index[name] -= self.down_rate * dt_minutes
+                index[name] += self.up_rate * held * dt_minutes
             else:
-                # Relax toward zero so ancient history fades.
-                index = self._index[name]
-                step = self.decay_rate * dt_minutes
-                if index > 0:
-                    self._index[name] = max(0.0, index - step)
-                elif index < 0:
-                    self._index[name] = min(0.0, index + step)
+                index[name] -= self.down_rate * dt_minutes
+            self._synced[name] = cycle
+        for name, held in allocated_counts.items():
+            if held <= 0 or name in wanting or name not in index:
+                continue
+            self._materialize(name, cycle - 1)
+            index[name] += self.up_rate * held * dt_minutes
+            self._synced[name] = cycle
 
     def rank_requesters(self, requesters):
         """Order stations wanting capacity, most-deprived (lowest index)
@@ -105,4 +157,5 @@ class UpDownPolicy:
         return best
 
     def __repr__(self):
-        return f"<UpDownPolicy {dict(sorted(self._index.items()))}>"
+        indexes = {name: self.index(name) for name in sorted(self._index)}
+        return f"<UpDownPolicy {indexes}>"

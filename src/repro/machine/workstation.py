@@ -144,6 +144,15 @@ class Workstation:
             return 0.0
         return self.sim.now - self._idle_since
 
+    @property
+    def idle_since(self):
+        """When the current idle stretch began (meaningless if owner active).
+
+        Pushed in ``state_update`` deltas so the coordinator can compute
+        ``current_idle`` at allocation time without a fresh poll.
+        """
+        return self._idle_since
+
     def __repr__(self):
         state = "owner" if self.owner_active else "idle"
         guest = f" hosting={self.running_job!r}" if self.running_job else ""

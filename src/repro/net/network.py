@@ -3,8 +3,8 @@
 The paper's cluster hangs off one departmental Ethernet.  Three traffic
 classes matter to the reproduction:
 
-* small control messages (coordinator polls, allocation grants) — latency
-  only;
+* small control messages (coordinator polls, pushed ``state_update``
+  deltas, allocation grants) — latency only;
 * request/response RPCs with timeouts — the coordinator must survive a
   station that went down (§2.1: "local schedulers are not affected if a
   remote site discontinues service");
@@ -100,6 +100,15 @@ class Network:
             return self._nodes[name]
         except KeyError:
             raise SimulationError(f"unknown node {name!r}") from None
+
+    def knows(self, name):
+        """Whether a node with this name is attached.
+
+        Lets an optional peer be addressed safely — a local scheduler
+        only pushes ``state_update`` deltas when a coordinator actually
+        exists on this network (standalone schedulers stay silent).
+        """
+        return name in self._nodes
 
     def _lost(self):
         return (

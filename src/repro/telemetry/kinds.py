@@ -28,6 +28,11 @@ HOST_LOST = "host_lost"                      # hosting station went down
 
 # -- daemons ------------------------------------------------------------
 COORDINATOR_CYCLE = "coordinator_cycle"
+#: An anti-entropy poll reply advanced a station's state past what its
+#: pushed updates delivered — i.e. a ``state_update`` was lost and the
+#: delta-protocol view drifted until repaired.  Never emitted on a
+#: healthy network, so traces stay byte-identical with polling mode.
+COORDINATOR_VIEW_REPAIR = "coordinator_view_repair"
 
 # -- machine substrate --------------------------------------------------
 #: One CPU-attribution ledger entry (category, interval, fraction).
@@ -46,7 +51,7 @@ JOB_LIFECYCLE = (
     JOB_SUBMITTED, JOB_REFUSED, JOB_PLACED, JOB_PLACEMENT_FAILED,
     JOB_SUSPENDED, JOB_RESUMED, JOB_VACATED, JOB_KILLED, JOB_PREEMPTED,
     JOB_PERIODIC_CHECKPOINT, JOB_COMPLETED, JOB_REMOVED, JOB_FAILED,
-    HOST_LOST, COORDINATOR_CYCLE,
+    HOST_LOST, COORDINATOR_CYCLE, COORDINATOR_VIEW_REPAIR,
 )
 
 #: Checkpoint-bearing events (Fig. 8's numerator, trace replay's count).
