@@ -67,6 +67,24 @@ class CondorConfig:
     coordinator_overhead_model: str = "auto"
     #: Poll RPC timeout — a silent station is considered down.
     rpc_timeout: float = 10.0
+    #: Retry/backoff policy for reliable delivery (pushed deltas, job
+    #: notices, checkpoint-back transfers).  First retry waits
+    #: ``retry_backoff_base`` seconds, doubling up to ``retry_backoff_cap``,
+    #: each delay stretched by up to ``retry_jitter_frac`` of itself
+    #: (seeded, so chaos runs replay byte-identically).
+    retry_backoff_base: float = 2.0
+    retry_backoff_cap: float = 120.0
+    retry_jitter_frac: float = 0.5
+    #: Attempts for a pushed ``state_update`` before giving up (a newer
+    #: push or the anti-entropy poll supersedes it; giving up merely
+    #: forces the next flush to resend full state).
+    push_retry_limit: int = 4
+    #: Attempts for the ``start_job`` placement RPC before the home
+    #: station abandons the placement and requeues the job.
+    placement_rpc_retries: int = 6
+    #: Seed for the per-daemon retry-jitter streams.  Independent of the
+    #: workload/owner seeds so enabling retries cannot perturb them.
+    retry_seed: int = 0
     #: Save the text segment in checkpoints (§2.3 says yes; the shared-
     #: text optimisation of §4 turns this off).
     include_text_in_checkpoint: bool = True
@@ -103,3 +121,10 @@ class CondorConfig:
                 f"unknown coordinator_overhead_model "
                 f"{self.coordinator_overhead_model!r}"
             )
+        if (self.retry_backoff_base <= 0
+                or self.retry_backoff_cap < self.retry_backoff_base):
+            raise SimulationError("bad retry backoff base/cap")
+        if not 0 <= self.retry_jitter_frac <= 1:
+            raise SimulationError("retry_jitter_frac must be in [0, 1]")
+        if self.push_retry_limit < 1 or self.placement_rpc_retries < 1:
+            raise SimulationError("retry limits must be >= 1")

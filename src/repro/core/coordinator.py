@@ -32,9 +32,10 @@ import time as _wallclock
 from repro.core import events as ev
 from repro.core.cluster_view import ClusterView
 from repro.machine.accounting import COORDINATOR
-from repro.net import Node
+from repro.net import Node, ReliableSender
 from repro.sim import Signal
 from repro.sim.errors import SimulationError
+from repro.sim.randomness import RandomStream
 
 
 class PollResult:
@@ -127,8 +128,30 @@ class Coordinator(Node):
         self.cycles = 0
         self.grants_issued = 0
         self.preemptions_ordered = 0
+        #: At-least-once delivery for host_lost notices: a home that
+        #: never learns its host died would strand the job forever.
+        self._retry = ReliableSender(
+            net, self.name,
+            RandomStream(config.retry_seed, "retry.coordinator"),
+            bus=bus,
+            backoff_base=config.retry_backoff_base,
+            backoff_cap=config.retry_backoff_cap,
+            jitter_frac=config.retry_jitter_frac,
+            ack_timeout=config.rpc_timeout,
+        )
         self.register_handler("state_update", self._handle_state_update)
         net.attach(self)
+
+    def _send_host_lost(self, home, host):
+        """Tell ``home`` its hosting machine is gone — must deliver.
+
+        Retried until acknowledged; abandoned only if this coordinator
+        itself crashes (its replacement re-detects the loss from its own
+        probes).  The home-side handler is idempotent, so re-delivery
+        after a lost ack is harmless.
+        """
+        self._retry.send(home, "host_lost", {"host": host},
+                         abort=lambda: self.crashed)
 
     def start(self):
         """Begin the polling/allocation loop.  Idempotent."""
@@ -143,9 +166,13 @@ class Coordinator(Node):
                 continue
             if delta:
                 yield from self._refresh_view()
+                if self.crashed:
+                    continue   # went down while waiting on the probes
                 snapshot = self._snapshot_from_view()
             else:
                 poll = yield from self._poll_all(self.station_names)
+                if self.crashed:
+                    continue   # went down while waiting on the poll
                 self._detect_lost_hosts(poll)
                 self._work_units += len(poll.replies)
                 snapshot = self._snapshot_from_poll(poll)
@@ -181,12 +208,19 @@ class Coordinator(Node):
                     done.fire(None)
             return settle
 
+        tickets = []
         for name in targets:
-            self.net.rpc(name, "poll", None, timeout=None,
-                         callback=on_reply(name))
+            tickets.append(self.net.rpc(name, "poll", None, timeout=None,
+                                        callback=on_reply(name),
+                                        src=self.name))
         deadline = self.sim.schedule(self.config.rpc_timeout, done.fire, None)
         yield done
         deadline.cancel()
+        # The shared deadline passed (or every station answered): the
+        # still-unsettled tickets are lost replies — close them out so
+        # they do not linger as outstanding forever.
+        for ticket in tickets:
+            ticket.abandon()
         unreachable = {name for name in targets if name not in replies}
         return PollResult(replies, unreachable)
 
@@ -202,11 +236,11 @@ class Coordinator(Node):
         for host, home in list(self._hosting_map.items()):
             reply = poll.replies.get(host)
             if host in poll.unreachable:
-                self.net.message(home, "host_lost", {"host": host})
+                self._send_host_lost(home, host)
             elif (reply is not None
                   and reply["boot_epoch"] != self._boot_epochs.get(host)
                   and reply["hosting_home"] is None):
-                self.net.message(home, "host_lost", {"host": host})
+                self._send_host_lost(home, host)
         self._hosting_map = {
             name: reply["hosting_home"]
             for name, reply in poll.replies.items()
@@ -274,6 +308,8 @@ class Coordinator(Node):
         self._work_units += len(targets)
         self.bus.metrics.counter("coordinator.probes_sent").inc(len(targets))
         poll = yield from self._poll_all(targets)
+        if self.crashed:
+            return   # don't absorb observations made by a dead daemon
         for name, reply in poll.replies.items():
             self._absorb(name, reply, from_reply=True)
         for name in poll.unreachable:
@@ -297,7 +333,7 @@ class Coordinator(Node):
                 and state["boot_epoch"] != self._boot_epochs.get(name)
                 and state["hosting_home"] is None):
             del self._hosting_map[name]
-            self.net.message(home, "host_lost", {"host": name})
+            self._send_host_lost(home, name)
         prev_seq = self.view.seqs.get(name)
         applied = self.view.apply(name, state, from_reply=from_reply)
         metrics = self.bus.metrics
@@ -328,7 +364,7 @@ class Coordinator(Node):
         the home of any job it was hosting (once per outage)."""
         home = self._hosting_map.pop(name, None)
         if home is not None:
-            self.net.message(home, "host_lost", {"host": name})
+            self._send_host_lost(home, name)
         self.view.quarantine(name)
 
     def _snapshot_from_view(self):
@@ -420,7 +456,7 @@ class Coordinator(Node):
                 for h in chosen
             ]
             self.net.message(requester, "gang_grant",
-                             {"hosts": hosts_payload})
+                             {"hosts": hosts_payload}, src=self.name)
             for host in chosen:
                 self._hosting_map[host] = requester
             self.grants_issued += width
@@ -464,7 +500,7 @@ class Coordinator(Node):
                         "host": host,
                         "free_mb": states[host]["free_mb"],
                         "arch": states[host]["arch"],
-                    })
+                    }, src=self.name)
                     self._hosting_map[host] = station
                 else:
                     victim = self._reservation_victim(snapshot, counts, used,
@@ -476,7 +512,7 @@ class Coordinator(Node):
                     self.preemptions_ordered += 1
                     self.net.message(victim, "preempt", {
                         "for_station": station, "reservation": True,
-                    })
+                    }, src=self.name)
                 deficit -= 1
         return grants, preemptions, used
 
@@ -533,7 +569,7 @@ class Coordinator(Node):
             self.net.message(requester, "grant", {
                 "host": host, "free_mb": states[host]["free_mb"],
                 "arch": states[host]["arch"],
-            })
+            }, src=self.name)
         return grants
 
     def _select_host(self, snapshot, candidates):
@@ -606,7 +642,7 @@ class Coordinator(Node):
             self.preemptions_ordered += 1
             self.net.message(victim_host, "preempt", {
                 "for_station": requester,
-            })
+            }, src=self.name)
         return preemptions
 
     def _charge_overhead(self):

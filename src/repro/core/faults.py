@@ -1,60 +1,8 @@
-"""Fault injection: random machine crashes and recoveries.
+"""Compatibility shim: the fault machinery moved to :mod:`repro.faults`.
 
-Drives the fault-tolerance claims of §2 ("if a remote site running a
-background job fails, the job should be restarted automatically at some
-other location to guarantee job completion") in tests and experiments.
+The original module held only :class:`CrashInjector`; it has grown into
+a full subsystem (chaos schedules, a schedule injector, the
+no-lost-jobs checker).  Import from :mod:`repro.faults` in new code.
 """
 
-from repro.sim.errors import SimulationError
-
-
-class CrashInjector:
-    """Randomly crashes and recovers stations' daemons during a run.
-
-    Each targeted station independently alternates up-time drawn from
-    ``uptime_dist`` and down-time from ``downtime_dist``.  The submit
-    stations of active workloads are normally excluded — a dead home
-    cannot receive its own jobs back (the paper does not address losing
-    the submitting machine either).
-    """
-
-    def __init__(self, sim, system, stream, uptime_dist, downtime_dist,
-                 exclude=()):
-        self.sim = sim
-        self.system = system
-        self.stream = stream
-        self.uptime_dist = uptime_dist
-        self.downtime_dist = downtime_dist
-        self.exclude = frozenset(exclude)
-        self.crashes = 0
-        self.recoveries = 0
-        self._started = False
-
-    def start(self):
-        """Spawn one crash/recover process per non-excluded station."""
-        if self._started:
-            return
-        self._started = True
-        targets = [name for name in self.system.schedulers
-                   if name not in self.exclude]
-        if not targets:
-            raise SimulationError("crash injector has no target stations")
-        for name in targets:
-            self.sim.spawn(self._run(name), name=f"faults:{name}")
-
-    def _run(self, name):
-        scheduler = self.system.schedulers[name]
-        stream = self.stream.fork(f"faults.{name}")
-        while True:
-            yield self.uptime_dist.sample(stream)
-            scheduler.crash()
-            self.crashes += 1
-            yield self.downtime_dist.sample(stream)
-            scheduler.recover()
-            self.recoveries += 1
-
-    def __repr__(self):
-        return (
-            f"<CrashInjector crashes={self.crashes} "
-            f"recoveries={self.recoveries}>"
-        )
+from repro.faults.injector import CrashInjector  # noqa: F401

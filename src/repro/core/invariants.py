@@ -61,6 +61,14 @@ class InvariantChecker:
             if station.running_job is not hosted.job:
                 self._fail(f"{name} slot/record mismatch: "
                            f"{station.running_job!r} vs {hosted.job!r}")
+            if hosted.incarnation != hosted.job.incarnation:
+                # A zombie: the home already revoked this placement
+                # (host_lost during a partition) and may have re-placed
+                # the job, but the cut-off host has not noticed yet.
+                # Its slice will be reaped as wasted on the next local
+                # event; until then it is exempt from the state and
+                # exclusivity checks below.
+                continue
             if hosted.job.state not in (jobstate.RUNNING,
                                         jobstate.SUSPENDED,
                                         jobstate.VACATING):
@@ -92,7 +100,11 @@ class InvariantChecker:
                            f"{job.progress}")
             if job.progress < -1e-9 or job.wasted_cpu_seconds < -1e-9:
                 self._fail(f"{job.name} negative accounting")
-            if job.finished:
+            if job.finished and job.waste_refund_pending <= 1e-9:
+                # With a refund pending the books are transiently open:
+                # a cut-off host still owes the write-off of a revoked
+                # slice whose checkpointed prefix the rollback already
+                # credited.  The identity holds once it is reaped.
                 useful = job.remote_cpu_seconds - job.wasted_cpu_seconds
                 if abs(useful - job.demand_seconds) > 1.0:
                     self._fail(

@@ -126,6 +126,11 @@ class Job:
         self.remote_cpu_seconds = 0.0
         #: CPU seconds re-executed because work was lost (kill/crash).
         self.wasted_cpu_seconds = 0.0
+        #: Waste refund owed by a dead slice not yet booked: a rollback
+        #: to a periodic checkpoint can land *before* the (partitioned or
+        #: crashed) host writes its slice off; the refund waits here for
+        #: that booking (see :meth:`book_dead_slice`).
+        self.waste_refund_pending = 0.0
         #: Home-station support CPU (leverage denominator), by kind.
         self.support_seconds = {"placement": 0.0, "checkpoint": 0.0,
                                 "syscall": 0.0}
@@ -185,10 +190,30 @@ class Job:
         if delta >= 0:
             self.wasted_cpu_seconds += delta
         else:
-            self.wasted_cpu_seconds = max(
-                0.0, self.wasted_cpu_seconds + delta
-            )
+            # The refund can outrun the write-off it corrects: the home
+            # revokes (and rolls back) the moment the host is declared
+            # lost, while the host books its dead slice only when it
+            # crashes or notices the revocation.  Whatever cannot be
+            # refunded now waits for that booking.
+            refund = min(-delta, self.wasted_cpu_seconds)
+            self.wasted_cpu_seconds -= refund
+            self.waste_refund_pending += -delta - refund
         return delta
+
+    def book_dead_slice(self, elapsed_cpu):
+        """Write off a slice that died with its host.
+
+        The cycles were consumed (``remote_cpu_seconds``) but produced no
+        durable progress (``wasted_cpu_seconds``) — except for whatever a
+        periodic checkpoint preserved, which the home's rollback refunds
+        (possibly in advance, via :attr:`waste_refund_pending`).
+        """
+        self.remote_cpu_seconds += elapsed_cpu
+        self.wasted_cpu_seconds += elapsed_cpu
+        if self.waste_refund_pending:
+            refund = min(self.waste_refund_pending, self.wasted_cpu_seconds)
+            self.wasted_cpu_seconds -= refund
+            self.waste_refund_pending -= refund
 
     def add_support(self, kind, seconds):
         """Book home-station support CPU against this job."""

@@ -22,7 +22,7 @@ from repro.core.errors import SchedulingError, SubmissionRefused
 from repro.core.queue import BackgroundJobQueue
 from repro.machine.accounting import CHECKPOINT, PLACEMENT, REMOTE_JOB, SCHEDULER
 from repro.machine.disk import DiskFullError
-from repro.net import Node
+from repro.net import Node, ReliableSender
 from repro.remote_unix import (
     CheckpointImage,
     CheckpointStore,
@@ -30,6 +30,8 @@ from repro.remote_unix import (
     checkpoint_cpu_cost,
 )
 from repro.sim import HOUR
+from repro.sim.randomness import RandomStream
+from repro.telemetry import kinds as tk
 
 #: Vacate reasons recorded on JOB_VACATED events.
 REASON_OWNER_RETURNED = "owner_returned"
@@ -39,14 +41,20 @@ REASON_PRIORITY = "priority_preemption"
 class HostedExecution:
     """Host-side record of the one foreign job executing here."""
 
-    __slots__ = ("job", "home_name", "allocation", "run_started_at",
-                 "completion_handle", "grace_handle", "periodic_handle",
-                 "slices")
+    __slots__ = ("job", "home_name", "allocation", "incarnation",
+                 "run_started_at", "completion_handle", "grace_handle",
+                 "periodic_handle", "slices")
 
-    def __init__(self, job, home_name, allocation):
+    def __init__(self, job, home_name, allocation, incarnation):
         self.job = job
         self.home_name = home_name
         self.allocation = allocation
+        #: The placement lease this execution runs under.  The home bumps
+        #: ``job.incarnation`` on every (re)placement and revocation; a
+        #: mismatch means the home gave up on us (host declared lost
+        #: during a partition) and this execution must be reaped, never
+        #: reported.
+        self.incarnation = incarnation
         self.run_started_at = None
         self.completion_handle = None
         self.grace_handle = None
@@ -100,6 +108,19 @@ class LocalScheduler(Node):
         self._push_seq = 0
         self._last_pushed = None
         self._flush_handle = None
+        #: At-least-once delivery for pushes, placements and host→home
+        #: job notices.  The jitter stream is seeded independently of the
+        #: workload streams so retry timing cannot perturb them (and no
+        #: draw happens unless a retry actually fires).
+        self._retry = ReliableSender(
+            net, self.name,
+            RandomStream(config.retry_seed, f"retry.{station.name}"),
+            bus=bus,
+            backoff_base=config.retry_backoff_base,
+            backoff_cap=config.retry_backoff_cap,
+            jitter_frac=config.retry_jitter_frac,
+            ack_timeout=config.rpc_timeout,
+        )
 
         net.attach(self)
         self.register_handler("poll", self._handle_poll)
@@ -167,10 +188,25 @@ class LocalScheduler(Node):
         self._last_pushed = state
         self._push_seq += 1
         if self.net.knows("coordinator"):
-            self.net.message("coordinator", "state_update", {
-                "station": self.name,
-                "state": {**state, "seq": self._push_seq},
-            })
+            seq = self._push_seq
+            # Acknowledged with a capped retry: a push lost to a loss
+            # burst or a briefly-down coordinator is re-sent instead of
+            # waiting for anti-entropy.  Superseded (newer seq) or
+            # post-crash retries abort; the coordinator's seq gate makes
+            # duplicate deliveries harmless.
+            self._retry.send(
+                "coordinator", "state_update",
+                {"station": self.name, "state": {**state, "seq": seq}},
+                max_attempts=self.config.push_retry_limit,
+                abort=lambda: self.crashed or self._push_seq != seq,
+                on_give_up=self._push_gave_up,
+            )
+
+    def _push_gave_up(self):
+        # Forget what the coordinator last saw so the next flush resends
+        # full state even if it looks unchanged; until then the
+        # anti-entropy poll covers the gap.
+        self._last_pushed = None
 
     def _daemon_overhead(self):
         # Book the daemon's small background load in hourly chunks so the
@@ -304,6 +340,10 @@ class LocalScheduler(Node):
     def _begin_placement(self, job, host_name):
         """Ship the job's image to the host and ask it to start."""
         job.transition(jobstate.PLACING)
+        # New placement lease.  The incarnation is the home's revocation
+        # token: bumped again if this placement is abandoned or the host
+        # declared lost, so a host acting under an old lease self-reaps.
+        job.incarnation += 1
         self.active_by_host[host_name] = job
         self._placement_started[job.id] = self.sim.now
         image_mb = job.image_mb()
@@ -315,7 +355,10 @@ class LocalScheduler(Node):
                 job.id, job.syscall_rate, self.station.ledger
             )
         transfer = self.net.transfer(self.name, host_name, image_mb)
-        transfer.add_waiter(lambda _t: self._image_delivered(job, host_name))
+        transfer.add_waiter(
+            lambda outcome: self._image_transfer_settled(
+                job, host_name, outcome)
+        )
 
     def _pick_job_that_fits(self, host_free_mb, host_arch):
         """Next pending job (per discipline) that fits the host's disk
@@ -335,15 +378,43 @@ class LocalScheduler(Node):
             self.queue.enqueue(job)
         return chosen
 
+    def _image_transfer_settled(self, job, host_name, outcome):
+        """The placement image transfer completed or failed."""
+        status, detail = outcome
+        if status == "ok":
+            self._image_delivered(job, host_name)
+            return
+        if self.crashed:
+            return  # we died mid-ship; recover() requeues the placement
+        self.bus.publish(tk.TRANSFER_FAILED, station=self.name,
+                         dst=host_name, job=job, purpose="placement",
+                         reason=detail)
+        # No blind retry: the image never reached the host, so the
+        # cheapest recovery is to requeue and let the coordinator grant a
+        # (possibly different) machine next cycle.
+        self._placement_settled(job, host_name, ("transfer_failed", detail))
+
     def _image_delivered(self, job, host_name):
-        """The image reached the host; ask its scheduler to start the job."""
-        result = self.net.rpc(
+        """The image reached the host; ask its scheduler to start the job.
+
+        The start RPC is retried on ack timeout (the host's handler is
+        idempotent under the placement lease), and abandoned once the
+        placement is resolved another way — a host-lost notice, a crash
+        on our side, or a revoked lease.
+        """
+        incarnation = job.incarnation
+        self._retry.send(
             host_name, "start_job",
-            {"job": job, "home": self.name},
-            timeout=self.config.rpc_timeout,
+            {"job": job, "home": self.name, "incarnation": incarnation},
+            max_attempts=self.config.placement_rpc_retries,
+            abort=lambda: (self.crashed
+                           or self.active_by_host.get(host_name) is not job
+                           or job.incarnation != incarnation),
+            on_delivered=lambda response: self._placement_settled(
+                job, host_name, ("ok", response)),
+            on_give_up=lambda: self._placement_settled(
+                job, host_name, ("timeout", None)),
         )
-        result.add_waiter(lambda outcome: self._placement_settled(
-            job, host_name, outcome))
 
     def _placement_settled(self, job, host_name, outcome):
         status, detail = outcome
@@ -359,11 +430,22 @@ class LocalScheduler(Node):
             return  # the host published JOB_PLACED and is executing it
         if self.active_by_host.get(host_name) is not job:
             return  # a host-lost notice already resolved this placement
+        if job.state == jobstate.RUNNING:
+            # The host accepted but every ack was lost (partition): keep
+            # the mapping — the completion/vacate notices or a host_lost
+            # from the coordinator will resolve it.
+            return
         self.active_by_host.pop(host_name, None)
         if job.state == jobstate.PLACING:
+            job.incarnation += 1   # revoke: a late accept must self-reap
             job.transition(jobstate.PENDING)
             self.queue.return_to_pending(job)
-        reason = detail[1] if status == "ok" else "host_unreachable"
+        if status == "ok":
+            reason = detail[1]
+        elif status == "transfer_failed":
+            reason = f"transfer_{detail}"
+        else:
+            reason = "host_unreachable"
         self.bus.publish(ev.JOB_PLACEMENT_FAILED, job=job, host=host_name,
                          reason=reason)
         self._mark_dirty()
@@ -378,10 +460,19 @@ class LocalScheduler(Node):
             job.add_support("syscall", charged)
 
     def _handle_job_vacated(self, payload):
-        """Our job was checkpointed off its host and the image arrived."""
+        """Our job was checkpointed off its host and the image arrived.
+
+        Delivered at-least-once: a duplicate (ack lost, notice re-sent)
+        or a stale notice from a revoked lease is discarded — the job is
+        no longer VACATING, or the incarnation moved on.
+        """
         job = payload["job"]
         host = payload["host"]
         image_mb = payload["image_mb"]
+        if (job.state != jobstate.VACATING
+                or payload.get("incarnation", job.incarnation)
+                != job.incarnation):
+            return
         self._record_slices(job, payload["slices"])
         cost = checkpoint_cpu_cost(image_mb)
         self.station.ledger.charge(CHECKPOINT, cost)
@@ -407,8 +498,20 @@ class LocalScheduler(Node):
         self._mark_dirty()
 
     def _handle_job_completed(self, payload):
+        """The host reports our job's demand is met (at-least-once).
+
+        Exactly-once completion is enforced here: only a RUNNING job
+        under the current lease completes; duplicates and notices from
+        revoked leases (the host was declared lost mid-partition and the
+        job re-placed) are discarded — the re-placed copy completes
+        instead.
+        """
         job = payload["job"]
         host = payload["host"]
+        if (job.state != jobstate.RUNNING
+                or payload.get("incarnation", job.incarnation)
+                != job.incarnation):
+            return
         self._record_slices(job, payload["slices"])
         job.transition(jobstate.COMPLETED)
         job.completed_at = self.sim.now
@@ -425,6 +528,10 @@ class LocalScheduler(Node):
         """Butler-mode: our job was killed without a checkpoint."""
         job = payload["job"]
         host = payload["host"]
+        if (job.state != jobstate.RUNNING
+                or payload.get("incarnation", job.incarnation)
+                != job.incarnation):
+            return  # duplicate or stale-lease notice
         self._record_slices(job, payload["slices"])
         job.roll_back_to_checkpoint()
         job.kill_count += 1
@@ -435,12 +542,20 @@ class LocalScheduler(Node):
         self._mark_dirty()
 
     def _handle_host_lost(self, payload):
-        """Coordinator says a machine hosting our job went down."""
+        """Coordinator says a machine hosting our job went down.
+
+        This is the lease revocation: the incarnation bump invalidates
+        whatever the declared-lost host is still doing (it may merely be
+        partitioned, not dead — a zombie execution there reaps itself on
+        the mismatch).  Idempotent: duplicates find the mapping gone.
+        """
         host = payload["host"]
         job = self.active_by_host.pop(host, None)
         if job is None or not job.in_system or job.state == jobstate.PENDING:
             return
+        self._placement_started.pop(job.id, None)
         job.roll_back_to_checkpoint()
+        job.incarnation += 1
         job.transition(jobstate.PENDING)
         self.queue.return_to_pending(job)
         self.bus.publish(ev.HOST_LOST, job=job, host=host)
@@ -482,11 +597,23 @@ class LocalScheduler(Node):
     # ==================================================================
 
     def _handle_start_job(self, payload):
-        """RPC from a home station asking us to run its job."""
+        """RPC from a home station asking us to run its job.
+
+        Idempotent under at-least-once delivery: a duplicate of a
+        placement we already accepted is re-acknowledged (the first ack
+        was lost), and a request whose lease the home has since revoked
+        or reassigned is refused as stale.
+        """
         job = payload["job"]
         home = payload["home"]
+        incarnation = payload.get("incarnation", job.incarnation)
         if self.crashed:
             return ("refused", "crashed")
+        if (self.hosted is not None and self.hosted.job is job
+                and self.hosted.incarnation == incarnation):
+            return ("started", None)
+        if incarnation != job.incarnation or job.state != jobstate.PLACING:
+            return ("refused", "stale_placement")
         if self.station.owner_active:
             return ("refused", "owner_active")
         if self.hosted is not None:
@@ -501,11 +628,10 @@ class LocalScheduler(Node):
             return ("refused", "disk_full")
         job.transition(jobstate.RUNNING)
         job.locked_arch = self.station.arch
-        job.incarnation += 1
         if job.first_placed_at is None:
             job.first_placed_at = self.sim.now
         job.placements.append(self.name)
-        self.hosted = HostedExecution(job, home, allocation)
+        self.hosted = HostedExecution(job, home, allocation, incarnation)
         self.station.running_job = job
         self._begin_run_slice()
         self.bus.publish(ev.JOB_PLACED, job=job, host=self.name, home=home)
@@ -546,11 +672,44 @@ class LocalScheduler(Node):
         hosted.job.remote_cpu_seconds += cpu
         hosted.slices.append((t0, t1))
 
+    def _lease_valid(self, hosted):
+        """Whether the home still honours this placement (see
+        :class:`HostedExecution.incarnation`)."""
+        return hosted.incarnation == hosted.job.incarnation
+
+    def _reap_stale_execution(self):
+        """Discard a foreign execution whose lease the home revoked.
+
+        We were declared lost (typically behind a partition) and the job
+        rolled back and possibly re-placed elsewhere.  The cycles burned
+        here are booked as wasted; the job's progress/state are *never*
+        touched — another host may legitimately own them now.
+        """
+        hosted = self.hosted
+        hosted.cancel_timers()
+        if hosted.run_started_at is not None:
+            elapsed_cpu = (
+                (self.sim.now - hosted.run_started_at)
+                * self.station.cpu_speed
+            )
+            hosted.job.book_dead_slice(elapsed_cpu)
+            self.station.ledger.stop(REMOTE_JOB)
+            hosted.run_started_at = None
+        hosted.allocation.release()
+        self.station.running_job = None
+        self.hosted = None
+        self.bus.publish(tk.STALE_EXECUTION_REAPED, job=hosted.job,
+                         host=self.name)
+        self._mark_dirty()
+
     def _owner_changed(self, station, active):
         # The idle flag flipped whether or not we host anyone — the
         # coordinator's view must hear about it.
         self._mark_dirty()
         if self.hosted is None:
+            return
+        if not self._lease_valid(self.hosted):
+            self._reap_stale_execution()
             return
         job = self.hosted.job
         if active and job.state == jobstate.RUNNING:
@@ -572,13 +731,21 @@ class LocalScheduler(Node):
 
     def _grace_expired(self):
         """Owner stayed past the grace period: checkpoint the job away."""
-        if self.hosted is None or self.hosted.job.state != jobstate.SUSPENDED:
+        if self.hosted is None:
+            return
+        if not self._lease_valid(self.hosted):
+            self._reap_stale_execution()
+            return
+        if self.hosted.job.state != jobstate.SUSPENDED:
             return
         self._vacate(REASON_OWNER_RETURNED)
 
     def _handle_preempt(self, payload):
         """Coordinator preemption order: vacate immediately, no grace."""
         if self.hosted is None:
+            return
+        if not self._lease_valid(self.hosted):
+            self._reap_stale_execution()
             return
         job = self.hosted.job
         if job.state == jobstate.RUNNING:
@@ -600,23 +767,69 @@ class LocalScheduler(Node):
         image_mb = job.layout.image_mb(
             job.progress, include_text=self.config.include_text_in_checkpoint
         )
+        self._send_vacate_image(hosted, image_mb, reason, attempt=1)
+
+    def _send_vacate_image(self, hosted, image_mb, reason, attempt):
         transfer = self.net.transfer(self.name, hosted.home_name, image_mb)
         transfer.add_waiter(
-            lambda _t: self._vacate_transfer_done(hosted, image_mb, reason)
+            lambda outcome: self._vacate_transfer_settled(
+                hosted, image_mb, reason, attempt, outcome)
         )
 
-    def _vacate_transfer_done(self, hosted, image_mb, reason):
-        if self.crashed:
+    def _vacate_transfer_settled(self, hosted, image_mb, reason, attempt,
+                                 outcome):
+        if self.crashed or self.hosted is not hosted:
             return  # the machine died mid-transfer; home learns via host_lost
+        if not self._lease_valid(hosted):
+            # The home gave up on us while we were checkpointing back
+            # (declared lost behind a partition): drop the execution.
+            self._reap_stale_execution()
+            return
+        status, detail = outcome
+        if status != "ok":
+            # The checkpoint must reach home or the job's progress since
+            # its last image is lost: retry with backoff until it lands
+            # or the lease dies (home crash heals on recovery; partition
+            # heals by schedule).
+            self.bus.publish(tk.TRANSFER_FAILED, station=self.name,
+                             dst=hosted.home_name, job=hosted.job,
+                             purpose="vacate", reason=detail)
+            self.sim.schedule(self._retry.backoff(attempt + 1),
+                              self._retry_vacate_transfer,
+                              hosted, image_mb, reason, attempt + 1)
+            return
         # Disk is held until the checkpoint leaves (§4) — release now.
         hosted.allocation.release()
         self.station.running_job = None
         self.hosted = None
-        self.net.message(hosted.home_name, "job_vacated", {
+        self._notify_home(hosted.home_name, "job_vacated", {
             "job": hosted.job, "host": self.name, "slices": hosted.slices,
             "image_mb": image_mb, "reason": reason,
+            "incarnation": hosted.incarnation,
         })
         self._mark_dirty()
+
+    def _retry_vacate_transfer(self, hosted, image_mb, reason, attempt):
+        if self.crashed or self.hosted is not hosted:
+            return
+        if not self._lease_valid(hosted):
+            self._reap_stale_execution()
+            return
+        self.bus.publish(tk.MESSAGE_RETRY, station=self.name,
+                         dst=hosted.home_name, op="vacate_transfer",
+                         attempt=attempt)
+        self._send_vacate_image(hosted, image_mb, reason, attempt)
+
+    def _notify_home(self, home_name, op, payload):
+        """Must-deliver host→home job notice (completed/vacated/killed).
+
+        Retried without cap: the paper's "guarantee job completion"
+        rests on these.  The home-side handlers are idempotent, and a
+        notice that went stale (the home revoked the lease meanwhile) is
+        discarded there by the incarnation guard, so over-delivery is
+        always safe.
+        """
+        self._retry.send(home_name, op, payload, max_attempts=None)
 
     def _kill_hosted(self):
         """Butler-mode removal: terminate without saving state (§1)."""
@@ -625,21 +838,26 @@ class LocalScheduler(Node):
         hosted.allocation.release()
         self.station.running_job = None
         self.hosted = None
-        self.net.message(hosted.home_name, "job_killed", {
+        self._notify_home(hosted.home_name, "job_killed", {
             "job": hosted.job, "host": self.name, "slices": hosted.slices,
+            "incarnation": hosted.incarnation,
         })
         self._mark_dirty()
 
     def _hosted_job_finished(self):
         """The hosted job's demand is met."""
         hosted = self.hosted
+        if not self._lease_valid(hosted):
+            self._reap_stale_execution()
+            return
         self._close_run_slice()
         hosted.job.progress = hosted.job.demand_seconds  # shed float dust
         hosted.allocation.release()
         self.station.running_job = None
         self.hosted = None
-        self.net.message(hosted.home_name, "job_completed", {
+        self._notify_home(hosted.home_name, "job_completed", {
             "job": hosted.job, "host": self.name, "slices": hosted.slices,
+            "incarnation": hosted.incarnation,
         })
         self._mark_dirty()
 
@@ -647,6 +865,9 @@ class LocalScheduler(Node):
         """Ship a checkpoint home while the job keeps running (§4 plan)."""
         hosted = self.hosted
         if hosted is None or hosted.run_started_at is None:
+            return
+        if not self._lease_valid(hosted):
+            self._reap_stale_execution()
             return
         job = hosted.job
         progress_now = job.progress + (
@@ -658,13 +879,24 @@ class LocalScheduler(Node):
         transfer = self.net.transfer(self.name, hosted.home_name, image_mb)
         home = hosted.home_name
 
-        incarnation = job.incarnation
+        incarnation = hosted.incarnation
 
-        def deliver(_t):
+        def deliver(outcome):
+            status, detail = outcome
+            if status != "ok":
+                # Best-effort by design: a lost periodic image costs at
+                # most one interval of re-execution; the next one (or the
+                # vacate checkpoint) supersedes it.
+                if not self.crashed:
+                    self.bus.publish(tk.TRANSFER_FAILED, station=self.name,
+                                     dst=home, job=job,
+                                     purpose="periodic_checkpoint",
+                                     reason=detail)
+                return
             self.net.message(home, "periodic_checkpoint", {
                 "job": job, "image_mb": image_mb, "progress": progress_now,
                 "incarnation": incarnation,
-            })
+            }, src=self.name)
 
         transfer.add_waiter(deliver)
         hosted.periodic_handle = self.sim.schedule(
@@ -696,13 +928,16 @@ class LocalScheduler(Node):
                     (self.sim.now - hosted.run_started_at)
                     * self.station.cpu_speed
                 )
-                hosted.job.remote_cpu_seconds += elapsed_cpu
-                hosted.job.wasted_cpu_seconds += elapsed_cpu
+                hosted.job.book_dead_slice(elapsed_cpu)
                 self.station.ledger.stop(REMOTE_JOB)
                 hosted.run_started_at = None
             hosted.allocation.release()
             self.station.running_job = None
             self.hosted = None
+        # Abort every in-flight bulk transfer we are party to and free
+        # the NIC reservations (the other endpoint's waiter sees the
+        # failure and recovers; ours are gated on ``self.crashed``).
+        self.net.endpoint_crashed(self.name)
 
     def recover(self):
         """The machine comes back up with an empty foreign-job slot."""
@@ -710,6 +945,17 @@ class LocalScheduler(Node):
             return
         self.crashed = False
         self.boot_epoch += 1
+        # Placements that were in flight when we went down died with
+        # their transfer/RPC retry loops: revoke the leases and requeue.
+        for host_name, job in list(self.active_by_host.items()):
+            if job.state == jobstate.PLACING:
+                self.active_by_host.pop(host_name, None)
+                self._placement_started.pop(job.id, None)
+                job.incarnation += 1
+                job.transition(jobstate.PENDING)
+                self.queue.return_to_pending(job)
+                self.bus.publish(ev.JOB_PLACEMENT_FAILED, job=job,
+                                 host=host_name, reason="home_rebooted")
         # The bumped epoch is itself the readmission ticket: a push with
         # a newer boot epoch lifts the coordinator's quarantine.
         self._mark_dirty()

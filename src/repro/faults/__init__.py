@@ -1,0 +1,35 @@
+"""Fault injection and recovery validation (the chaos subsystem).
+
+Grown out of ``repro.core.faults`` (which re-exports from here for
+compatibility): declarative seed-deterministic chaos schedules, the
+injectors that run them, and the standing no-lost-jobs invariant checker
+that validates the paper's §2 fault-tolerance promise against the
+telemetry spine.
+"""
+
+from repro.faults.injector import ChaosContext, ChaosInjector, CrashInjector
+from repro.faults.invariants import NoLostJobsChecker, NoLostJobsViolation
+from repro.faults.schedule import (
+    ChaosSchedule,
+    CrashCoordinator,
+    CrashMidTransfer,
+    CrashStation,
+    FaultAction,
+    LossBurst,
+    Partition,
+)
+
+__all__ = [
+    "ChaosContext",
+    "ChaosInjector",
+    "ChaosSchedule",
+    "CrashCoordinator",
+    "CrashInjector",
+    "CrashMidTransfer",
+    "CrashStation",
+    "FaultAction",
+    "LossBurst",
+    "NoLostJobsChecker",
+    "NoLostJobsViolation",
+    "Partition",
+]

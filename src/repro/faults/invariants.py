@@ -1,0 +1,146 @@
+"""The standing no-lost-jobs invariant, checked from the telemetry spine.
+
+The paper's fault-tolerance promise (§2: a failed remote site's job "
+should be restarted automatically at some other location to guarantee
+job completion") reduces to three trace-checkable properties:
+
+* every submitted job eventually **completes exactly once** (or was
+  explicitly removed by its user);
+* a job never emits a second ``job_completed`` — the at-least-once
+  notice machinery must deduplicate, not double-complete;
+* the durable checkpoint never regresses: once ``checkpointed_progress``
+  reached *p*, no later event may observe it below *p* (crash recovery
+  rolls *progress* back to the checkpoint, never the checkpoint back).
+
+:class:`NoLostJobsChecker` subscribes to the hub and evaluates these
+live.  Violations are **collected, not raised**, inside callbacks — a
+raising subscriber would be isolated by the hub and emitted as a
+``telemetry_error`` event, perturbing the very traces the chaos suite
+compares byte-for-byte.  Call :meth:`check_final` after the run (and
+``system.finalize()``) to assert the end-state.
+"""
+
+from repro.sim.errors import SimulationError
+from repro.telemetry import kinds
+
+
+class NoLostJobsViolation(SimulationError):
+    """The system lost, duplicated, or rolled back a job."""
+
+
+#: Events whose payload carries a job whose checkpoint we can observe.
+_OBSERVED_KINDS = (
+    kinds.JOB_PLACED, kinds.JOB_VACATED, kinds.JOB_PERIODIC_CHECKPOINT,
+    kinds.JOB_RESUMED, kinds.JOB_PREEMPTED, kinds.JOB_KILLED,
+    kinds.HOST_LOST, kinds.JOB_PLACEMENT_FAILED,
+)
+
+
+class NoLostJobsChecker:
+    """Hub subscriber asserting exactly-once completion and durable progress.
+
+    Attach before submitting the workload::
+
+        checker = NoLostJobsChecker(system.bus)
+        ... run ...
+        checker.check_final()          # raises NoLostJobsViolation
+
+    ``check_final(require_all_complete=False)`` relaxes the completion
+    requirement (for runs cut off mid-flight) while still asserting no
+    duplicates and no checkpoint regression.
+    """
+
+    def __init__(self, bus):
+        self.bus = bus
+        #: job id -> Job object, in submission order.
+        self.submitted = {}
+        #: job id -> number of job_completed events seen.
+        self.completions = {}
+        #: job ids explicitly removed (allowed to never complete).
+        self.removed = set()
+        #: job id -> highest checkpointed_progress ever observed.
+        self.checkpoint_floor = {}
+        #: Violation descriptions, in order of detection.
+        self.violations = []
+        bus.subscribe_event(kinds.JOB_SUBMITTED, self._on_submitted)
+        bus.subscribe_event(kinds.JOB_COMPLETED, self._on_completed)
+        bus.subscribe_event(kinds.JOB_REMOVED, self._on_removed)
+        for kind in _OBSERVED_KINDS:
+            bus.subscribe_event(kind, self._on_observed)
+
+    # ------------------------------------------------------------------
+    # subscribers (collect, never raise — see module docstring)
+
+    def _on_submitted(self, event):
+        job = event.payload["job"]
+        self.submitted[job.id] = job
+
+    def _on_completed(self, event):
+        job = event.payload["job"]
+        count = self.completions.get(job.id, 0) + 1
+        self.completions[job.id] = count
+        if count > 1:
+            self._violate(
+                f"t={event.sim_time:.1f}: {job.name} completed {count} times"
+            )
+        self._observe_checkpoint(event.sim_time, job)
+
+    def _on_removed(self, event):
+        self.removed.add(event.payload["job"].id)
+
+    def _on_observed(self, event):
+        self._observe_checkpoint(event.sim_time, event.payload["job"])
+
+    def _observe_checkpoint(self, t, job):
+        floor = self.checkpoint_floor.get(job.id, 0.0)
+        current = job.checkpointed_progress
+        if current < floor - 1e-6:
+            self._violate(
+                f"t={t:.1f}: {job.name} checkpoint regressed "
+                f"{floor:.1f} -> {current:.1f}"
+            )
+        elif current > floor:
+            self.checkpoint_floor[job.id] = current
+
+    def _violate(self, description):
+        self.violations.append(description)
+
+    # ------------------------------------------------------------------
+    # verdicts
+
+    @property
+    def ok(self):
+        return not self.violations
+
+    def check_final(self, require_all_complete=True):
+        """End-of-run verdict; raises :class:`NoLostJobsViolation`.
+
+        Asserts every live-collected property held, and — unless
+        ``require_all_complete=False`` — that every submitted job not
+        removed completed exactly once and is flagged finished.
+        """
+        problems = list(self.violations)
+        for job_id, job in self.submitted.items():
+            if job_id in self.removed:
+                continue
+            count = self.completions.get(job_id, 0)
+            if count > 1:
+                continue      # already recorded as a duplicate above
+            if require_all_complete and count == 0:
+                problems.append(
+                    f"{job.name} never completed (state {job.state})"
+                )
+            elif count == 1 and not job.finished:
+                problems.append(
+                    f"{job.name} emitted job_completed but is not finished"
+                )
+        if problems:
+            raise NoLostJobsViolation(
+                "no-lost-jobs invariant violated:\n  "
+                + "\n  ".join(problems)
+            )
+        return len(self.submitted)
+
+    def __repr__(self):
+        return (f"<NoLostJobsChecker jobs={len(self.submitted)} "
+                f"violations={len(self.violations)}>")

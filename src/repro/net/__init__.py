@@ -3,8 +3,14 @@
 from repro.net.network import (
     DEFAULT_BANDWIDTH_MB_S,
     DEFAULT_LATENCY,
+    BulkTransfer,
     Network,
     Node,
+    RpcTicket,
 )
+from repro.net.reliable import ReliableSender
 
-__all__ = ["Network", "Node", "DEFAULT_LATENCY", "DEFAULT_BANDWIDTH_MB_S"]
+__all__ = [
+    "Network", "Node", "BulkTransfer", "RpcTicket", "ReliableSender",
+    "DEFAULT_LATENCY", "DEFAULT_BANDWIDTH_MB_S",
+]

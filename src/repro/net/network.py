@@ -14,6 +14,19 @@ classes matter to the reproduction:
 
 Nodes register named handlers; the network routes by node name so tests
 can swap real daemons for probes.
+
+Failure model (exercised by the chaos suite in :mod:`repro.faults`):
+
+* a **crashed** node neither receives messages nor answers RPCs, and
+  every in-flight bulk transfer touching it aborts, firing its Signal
+  with a failure outcome and releasing both endpoints' NIC reservations
+  (:meth:`Network.endpoint_crashed`);
+* a **partition** (:meth:`Network.partition`) silently drops control
+  traffic across the cut, turns RPCs into timeouts, and aborts crossing
+  transfers; :meth:`Network.heal` removes it;
+* the **loss process** applies to control messages, RPC requests and
+  replies, and (once per transfer) to bulk transfers — a lost transfer
+  is discovered by the sender when the copy should have completed.
 """
 
 from repro.sim import Signal
@@ -56,8 +69,76 @@ class Node:
         return f"<Node {self.name} {state}>"
 
 
+class RpcTicket:
+    """Handle for an outstanding deadline-less callback RPC.
+
+    ``rpc(timeout=None, callback=...)`` schedules no timeout event, so a
+    lost reply would otherwise vanish without a trace: the callback just
+    never fires.  The ticket makes that detectable — it stays in the
+    network's outstanding set until the reply settles, and a caller
+    running its own deadline (the coordinator's batch poller) calls
+    :meth:`abandon` on the unanswered ones when the deadline passes.
+    """
+
+    __slots__ = ("net", "dst", "op", "sent_at", "settled", "abandoned")
+
+    def __init__(self, net, dst, op, sent_at):
+        self.net = net
+        self.dst = dst
+        self.op = op
+        self.sent_at = sent_at
+        self.settled = False
+        self.abandoned = False
+
+    def _settle(self):
+        self.settled = True
+        self.net._outstanding.pop(self, None)
+
+    def abandon(self):
+        """Give up on the reply (the caller's own deadline passed).
+
+        Removes the ticket from the outstanding set and counts it in
+        :attr:`Network.rpcs_abandoned`.  A reply that arrives later still
+        invokes the callback (late replies always did); no-op if the RPC
+        already settled or was abandoned.
+        """
+        if self.settled or self.abandoned:
+            return
+        self.abandoned = True
+        self.net._outstanding.pop(self, None)
+        self.net.rpcs_abandoned += 1
+
+    def __repr__(self):
+        state = ("settled" if self.settled
+                 else "abandoned" if self.abandoned else "outstanding")
+        return f"<RpcTicket {self.op}->{self.dst} {state}>"
+
+
+class BulkTransfer:
+    """One in-flight bulk transfer (placement image, checkpoint file)."""
+
+    __slots__ = ("src", "dst", "size_mb", "start", "finish", "signal",
+                 "settled", "_handle")
+
+    def __init__(self, src, dst, size_mb, start, finish, signal):
+        self.src = src
+        self.dst = dst
+        self.size_mb = size_mb
+        self.start = start
+        self.finish = finish
+        self.signal = signal
+        self.settled = False
+        self._handle = None
+
+    def __repr__(self):
+        return (
+            f"<BulkTransfer {self.src}->{self.dst} {self.size_mb:.2f}MB "
+            f"finish={self.finish:.3f}{' settled' if self.settled else ''}>"
+        )
+
+
 class Network:
-    """Departmental LAN: routing, latency, loss, and bulk transfers."""
+    """Departmental LAN: routing, latency, loss, partitions, bulk transfers."""
 
     def __init__(self, sim, latency=DEFAULT_LATENCY,
                  bandwidth_mb_s=DEFAULT_BANDWIDTH_MB_S,
@@ -83,10 +164,21 @@ class Network:
         self._nodes = {}
         # Per-endpoint serialization point for bulk transfers.
         self._nic_free_at = {}
+        #: endpoint name -> list of live BulkTransfer records touching it.
+        self._transfers_at = {}
+        #: Callbacks invoked with each BulkTransfer record at issue time
+        #: (the chaos injector's crash-mid-transfer trigger hooks here).
+        self._transfer_observers = []
+        #: Island of names cut off from the rest, or ``None`` (healthy).
+        self._island = None
+        #: Outstanding deadline-less callback RPCs (see RpcTicket).
+        self._outstanding = {}
         #: Counters for traffic reports.
         self.messages_sent = 0
         self.messages_dropped = 0
         self.bytes_transferred_mb = 0.0
+        self.transfers_failed = 0
+        self.rpcs_abandoned = 0
 
     def attach(self, node):
         """Register a node; its name becomes its address."""
@@ -110,11 +202,82 @@ class Network:
         """
         return name in self._nodes
 
+    # ------------------------------------------------------------------
+    # failure processes
+
     def _lost(self):
         return (
             self.loss_probability > 0.0
             and self.loss_stream.random() < self.loss_probability
         )
+
+    def set_loss(self, probability):
+        """Change the message-loss probability mid-run (chaos bursts).
+
+        Requires the network to have been built with a ``loss_stream``
+        whenever the probability is non-zero, so burst draws stay on the
+        seeded stream.
+        """
+        if probability < 0.0 or probability > 1.0:
+            raise SimulationError(f"bad loss probability {probability}")
+        if probability and self.loss_stream is None:
+            raise SimulationError("loss_probability needs a loss_stream")
+        self.loss_probability = float(probability)
+
+    def partition(self, island):
+        """Cut the named endpoints off from the rest of the network.
+
+        Control traffic across the cut is dropped, RPCs across it time
+        out, and in-flight bulk transfers crossing it abort with a
+        ``"partitioned"`` failure.  Traffic *within* the island (and
+        within the remainder) still flows.  A second call replaces the
+        previous cut; :meth:`heal` removes it.
+        """
+        self._island = frozenset(island)
+        crossing = []
+        seen = set()
+        for records in self._transfers_at.values():
+            for record in records:
+                if id(record) not in seen and not self._reachable(
+                        record.src, record.dst):
+                    seen.add(id(record))
+                    crossing.append(record)
+        for record in crossing:
+            self._abort_transfer(record, "partitioned")
+
+    def heal(self):
+        """Remove the partition; all endpoints can reach each other again."""
+        self._island = None
+
+    def _reachable(self, a, b):
+        """Whether ``a`` can currently talk to ``b``.
+
+        ``None`` stands for an unnamed sender (direct test calls) and is
+        always considered reachable — partitions only apply to traffic
+        between named endpoints.
+        """
+        island = self._island
+        if island is None or a is None or b is None:
+            return True
+        return (a in island) == (b in island)
+
+    def _endpoint_crashed(self, name):
+        node = self._nodes.get(name)
+        return node is not None and node.crashed
+
+    def endpoint_crashed(self, name):
+        """The named machine went down: abort its in-flight transfers.
+
+        Every live bulk transfer touching the endpoint fires its Signal
+        with ``("failed", "endpoint_crashed")`` and both endpoints' NIC
+        reservations are recomputed — a machine that crashes mid-transfer
+        and reboots must not keep "waiting" for the dead transfer to
+        drain before its first post-recovery placement.
+
+        Called by the daemons' ``crash()`` methods; idempotent.
+        """
+        for record in list(self._transfers_at.get(name, ())):
+            self._abort_transfer(record, "endpoint_crashed")
 
     def _delay(self):
         """One-way message delay: base latency plus optional jitter.
@@ -128,17 +291,28 @@ class Network:
                 0.0, self.latency_jitter)
         return self.latency
 
-    def message(self, dst_name, op, payload=None):
+    # ------------------------------------------------------------------
+    # control messages
+
+    def message(self, dst_name, op, payload=None, src=None):
         """Fire-and-forget control message; delivered after one latency.
 
-        Silently dropped if the destination is crashed or the (optional)
-        loss process eats it — exactly the failure the poll timeout covers.
+        Silently dropped if the destination is crashed, a partition
+        separates ``src`` from it, or the (optional) loss process eats
+        it — exactly the failure the poll timeout covers.  An unknown
+        destination raises *before* any traffic counter moves, so tests
+        probing error paths do not skew the counters, and no loss draw
+        is consumed for a message that could never have been sent.
         """
+        dst = self.node(dst_name)
+        if not self._reachable(src, dst_name):
+            self.messages_sent += 1
+            self.messages_dropped += 1
+            return
         self.messages_sent += 1
         if self._lost():
             self.messages_dropped += 1
             return
-        dst = self.node(dst_name)
 
         def deliver():
             if not dst.crashed:
@@ -146,25 +320,32 @@ class Network:
 
         self.sim.schedule(self._delay(), deliver)
 
-    def rpc(self, dst_name, op, payload=None, timeout=1.0, callback=None):
+    def rpc(self, dst_name, op, payload=None, timeout=1.0, callback=None,
+            src=None):
         """Request/response with timeout.
 
         Returns a :class:`Signal` fired with ``("ok", response)`` or
-        ``("timeout", None)``.  A crashed destination, or a lost request
-        or reply, surfaces as a timeout — callers never hang.
+        ``("timeout", None)``.  A crashed destination, a partition, or a
+        lost request or reply surfaces as a timeout — callers never hang.
 
         With ``callback`` given, no Signal is allocated: the outcome is
-        delivered straight to ``callback(outcome)`` and ``None`` is
-        returned (the hot path for the coordinator's per-station polls).
-        ``timeout=None`` schedules no timeout event at all — the caller
-        must run its own deadline (a batch poller amortises one deadline
-        timer over a whole fan-out); with neither a response nor a
-        timeout the callback may never fire.
+        delivered straight to ``callback(outcome)`` (the hot path for the
+        coordinator's per-station polls).  ``timeout=None`` schedules no
+        timeout event at all — the caller must run its own deadline (a
+        batch poller amortises one deadline timer over a whole fan-out);
+        because the callback may then never fire, such calls return an
+        :class:`RpcTicket` that stays outstanding until the reply settles
+        or the caller abandons it, so a lost reply is detectable instead
+        of a silent no-show.
         """
+        dst = self.node(dst_name)
         result = (Signal(name=f"rpc:{dst_name}:{op}")
                   if callback is None else None)
         settle_cb = result.fire if callback is None else callback
-        dst = self.node(dst_name)
+        ticket = None
+        if callback is not None and timeout is None:
+            ticket = RpcTicket(self, dst_name, op, self.sim.now)
+            self._outstanding[ticket] = True
         settled = False
         timeout_handle = None
 
@@ -174,10 +355,12 @@ class Network:
                 settled = True
                 if timeout_handle is not None:
                     timeout_handle.cancel()
+                if ticket is not None:
+                    ticket._settle()
                 settle_cb(outcome)
 
         self.messages_sent += 1
-        request_lost = self._lost()
+        request_lost = not self._reachable(src, dst_name) or self._lost()
         if request_lost:
             self.messages_dropped += 1
 
@@ -186,7 +369,7 @@ class Network:
                 return
             response = dst.handle(op, payload)
             self.messages_sent += 1
-            if self._lost():
+            if not self._reachable(dst_name, src) or self._lost():
                 self.messages_dropped += 1
                 return
             self.sim.schedule(self._delay(), settle, ("ok", response))
@@ -195,19 +378,46 @@ class Network:
         if timeout is not None:
             timeout_handle = self.sim.schedule(timeout, settle,
                                                ("timeout", None))
-        return result
+        return result if callback is None else ticket
+
+    def outstanding_rpcs(self):
+        """Deadline-less callback RPCs still awaiting a reply, in send
+        order (for deadline bookkeeping, tests and diagnostics)."""
+        return list(self._outstanding)
+
+    # ------------------------------------------------------------------
+    # bulk transfers
 
     def transfer(self, src_name, dst_name, size_mb):
         """Bulk transfer (placement image, checkpoint file).
 
-        Returns a :class:`Signal` fired with the completion time.  The
-        transfer starts once both endpoints' NICs are free and holds them
-        for ``size_mb / bandwidth`` seconds — modelling why simultaneous
-        placements degrade a machine (§4).
+        Returns a :class:`Signal` fired with ``("ok", finish_time)`` on
+        success or ``("failed", reason)`` when the transfer cannot
+        complete.  The transfer starts once both endpoints' NICs are free
+        and holds them for ``size_mb / bandwidth`` seconds — modelling
+        why simultaneous placements degrade a machine (§4).
+
+        Failure modes: an endpoint crashed at start (or unreachable
+        behind a partition) fails after one latency — the sender's
+        connect attempt errors; an endpoint that crashes (or a partition
+        that lands) mid-transfer aborts it immediately and frees both
+        NICs; the loss process, drawn once per transfer, corrupts the
+        copy — the sender discovers it when the transfer should have
+        completed.
         """
         if size_mb < 0:
             raise SimulationError(f"negative transfer size {size_mb}")
         done = Signal(name=f"xfer:{src_name}->{dst_name}")
+        reason = None
+        if (self._endpoint_crashed(src_name)
+                or self._endpoint_crashed(dst_name)):
+            reason = "endpoint_crashed"
+        elif not self._reachable(src_name, dst_name):
+            reason = "partitioned"
+        if reason is not None:
+            self.transfers_failed += 1
+            self.sim.schedule(self.latency, done.fire, ("failed", reason))
+            return done
         start = max(
             self.sim.now,
             self._nic_free_at.get(src_name, 0.0),
@@ -218,8 +428,71 @@ class Network:
         self._nic_free_at[src_name] = finish
         self._nic_free_at[dst_name] = finish
         self.bytes_transferred_mb += size_mb
-        self.sim.schedule_at(finish, done.fire, finish)
+        record = BulkTransfer(src_name, dst_name, size_mb, start, finish,
+                              done)
+        self._transfers_at.setdefault(src_name, []).append(record)
+        self._transfers_at.setdefault(dst_name, []).append(record)
+        if self._lost():
+            record._handle = self.sim.schedule_at(
+                finish, self._transfer_lost, record)
+        else:
+            record._handle = self.sim.schedule_at(
+                finish, self._transfer_done, record)
+        for observer in self._transfer_observers:
+            observer(record)
         return done
+
+    def add_transfer_observer(self, callback):
+        """Call ``callback(record)`` for every bulk transfer issued."""
+        self._transfer_observers.append(callback)
+
+    def remove_transfer_observer(self, callback):
+        """Deregister a transfer observer (no-op if absent)."""
+        try:
+            self._transfer_observers.remove(callback)
+        except ValueError:
+            pass
+
+    def _transfer_done(self, record):
+        record.settled = True
+        self._unregister_transfer(record, release_nics=False)
+        record.signal.fire(("ok", record.finish))
+
+    def _transfer_lost(self, record):
+        record.settled = True
+        self._unregister_transfer(record, release_nics=False)
+        self.transfers_failed += 1
+        record.signal.fire(("failed", "lost"))
+
+    def _abort_transfer(self, record, reason):
+        if record.settled:
+            return
+        record.settled = True
+        if record._handle is not None:
+            record._handle.cancel()
+        self._unregister_transfer(record, release_nics=True)
+        self.transfers_failed += 1
+        # Delivered as its own event so the failure interleaves with the
+        # agenda like any other network notification.
+        self.sim.schedule(0.0, record.signal.fire, ("failed", reason))
+
+    def _unregister_transfer(self, record, release_nics):
+        for name in (record.src, record.dst):
+            records = self._transfers_at.get(name)
+            if records is not None:
+                try:
+                    records.remove(record)
+                except ValueError:
+                    pass
+                if not records:
+                    del self._transfers_at[name]
+            if release_nics:
+                remaining = self._transfers_at.get(name)
+                if remaining:
+                    self._nic_free_at[name] = max(
+                        r.finish for r in remaining)
+                else:
+                    self._nic_free_at.pop(name, None)
 
     def nic_busy_until(self, name):
         """When the named endpoint's NIC frees up (for tests/diagnostics)."""

@@ -1,0 +1,131 @@
+"""At-least-once delivery with jittered exponential backoff.
+
+The base :class:`~repro.net.network.Network` gives daemons exactly the
+1988 substrate: fire-and-forget messages and RPCs that time out.  On a
+healthy LAN that is enough — the delta protocol's pushed ``state_update``
+messages and the host→home job notices all arrive.  Under the chaos
+suite's partitions and loss bursts they do not, and a lost ``host_lost``
+or ``job_vacated`` notice strands a job forever.
+
+:class:`ReliableSender` wraps an operation in an acknowledged RPC and
+retries it on timeout with exponential backoff plus seeded jitter (so
+retry storms from many stations decorrelate, and so runs replay
+byte-identically from the same seed).  Callers choose:
+
+* a **retry cap** for best-effort traffic where a newer message or the
+  anti-entropy poll supersedes the lost one (pushed deltas), versus
+  unlimited attempts for must-deliver notices (``host_lost``, job
+  completion/vacate notices) — the paper's "guarantee job completion"
+  hinges on these;
+* an **abort predicate**, polled before every (re)send, so a retry loop
+  dies with its sender (a crashed station must not keep transmitting)
+  or when the message became moot (a newer delta was pushed).
+
+Every retry and give-up is telemetered (``message_retry`` /
+``message_give_up``) through the event bus so chaos traces expose the
+recovery machinery, not just its outcome.
+
+On a healthy network the first attempt is acknowledged and **no RNG is
+drawn** — jitter is sampled only when a retry actually happens — so
+fault-free runs remain byte-identical with the pre-retry build.
+"""
+
+from repro.sim.errors import SimulationError
+from repro.telemetry import kinds
+
+
+class ReliableSender:
+    """Retrying message channel for one sending daemon.
+
+    One instance per daemon, built with the daemon's own jitter stream
+    (forked from ``config.retry_seed``) so retry timing is deterministic
+    per sender and independent of every other random process in the
+    simulation.
+    """
+
+    def __init__(self, net, src, stream, bus=None,
+                 backoff_base=2.0, backoff_cap=120.0, jitter_frac=0.5,
+                 ack_timeout=10.0):
+        if backoff_base <= 0 or backoff_cap < backoff_base:
+            raise SimulationError(
+                f"bad backoff (base={backoff_base}, cap={backoff_cap})"
+            )
+        if not 0 <= jitter_frac <= 1:
+            raise SimulationError(f"jitter_frac {jitter_frac} not in [0,1]")
+        self.net = net
+        self.src = src
+        self.stream = stream
+        self.bus = bus
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        self.jitter_frac = float(jitter_frac)
+        self.ack_timeout = float(ack_timeout)
+
+    def backoff(self, attempt):
+        """Delay before re-attempt number ``attempt`` (2, 3, ...).
+
+        Public so callers retrying non-message work (bulk transfers) can
+        share the same seeded backoff/jitter policy.
+        """
+        base = min(self.backoff_cap,
+                   self.backoff_base * 2.0 ** (attempt - 2))
+        if self.jitter_frac:
+            return base * (1.0 + self.jitter_frac * self.stream.random())
+        return base
+
+    def send(self, dst, op, payload=None, max_attempts=None, abort=None,
+             on_delivered=None, on_give_up=None, station=None):
+        """Deliver ``op`` to ``dst`` at least once, retrying on timeout.
+
+        ``max_attempts=None`` retries forever (bounded in practice by the
+        abort predicate); ``abort()`` is consulted before every attempt
+        and before acting on every ack.  ``on_delivered(response)`` fires
+        when the destination acknowledged; ``on_give_up()`` when the cap
+        is exhausted.  ``station`` labels the telemetry events (defaults
+        to the sender's address).
+
+        The destination's handler runs once per *delivered* attempt —
+        at-least-once semantics — so handlers must be idempotent.
+        """
+        if max_attempts is not None and max_attempts < 1:
+            raise SimulationError(f"max_attempts {max_attempts} < 1")
+        source = station if station is not None else self.src
+        state = {"attempt": 0}
+
+        def aborted():
+            return abort is not None and abort()
+
+        def attempt():
+            if aborted():
+                return
+            state["attempt"] += 1
+            if state["attempt"] > 1:
+                self._publish(kinds.MESSAGE_RETRY, source, dst, op,
+                              state["attempt"])
+            self.net.rpc(dst, op, payload, timeout=self.ack_timeout,
+                         callback=settled, src=self.src)
+
+        def settled(outcome):
+            status, response = outcome
+            if status == "ok":
+                if on_delivered is not None and not aborted():
+                    on_delivered(response)
+                return
+            if aborted():
+                return
+            if (max_attempts is not None
+                    and state["attempt"] >= max_attempts):
+                self._publish(kinds.MESSAGE_GIVE_UP, source, dst, op,
+                              state["attempt"])
+                if on_give_up is not None:
+                    on_give_up()
+                return
+            self.net.sim.schedule(self.backoff(state["attempt"] + 1),
+                                  attempt)
+
+        attempt()
+
+    def _publish(self, kind, station, dst, op, attempt):
+        if self.bus is not None:
+            self.bus.publish(kind, station=station, dst=dst, op=op,
+                             attempt=attempt)

@@ -34,6 +34,30 @@ COORDINATOR_CYCLE = "coordinator_cycle"
 #: healthy network, so traces stay byte-identical with polling mode.
 COORDINATOR_VIEW_REPAIR = "coordinator_view_repair"
 
+# -- faults and recovery ------------------------------------------------
+#: A chaos schedule (or injector) introduced a fault: station crash,
+#: coordinator crash, network partition, loss burst, crash-mid-transfer.
+FAULT_INJECTED = "fault_injected"
+#: The corresponding repair: recovery, failover, heal, burst end.
+FAULT_CLEARED = "fault_cleared"
+#: A bulk transfer failed (endpoint crashed / partition / loss).
+TRANSFER_FAILED = "transfer_failed"
+#: A reliable control message (state_update, host_lost, job notices) or
+#: an aborted transfer is being re-sent after a jittered backoff.
+MESSAGE_RETRY = "message_retry"
+#: A capped retry loop exhausted its attempts (anti-entropy repairs it).
+MESSAGE_GIVE_UP = "message_give_up"
+#: A host discarded a foreign-job execution whose placement the home had
+#: already revoked (host_lost during a partition): the lease went stale,
+#: the cycles are booked as wasted, the slot is freed.
+STALE_EXECUTION_REAPED = "stale_execution_reaped"
+
+#: The fault/recovery vocabulary (chaos traces are built from these).
+FAULT_KINDS = (
+    FAULT_INJECTED, FAULT_CLEARED, TRANSFER_FAILED, MESSAGE_RETRY,
+    MESSAGE_GIVE_UP, STALE_EXECUTION_REAPED,
+)
+
 # -- machine substrate --------------------------------------------------
 #: One CPU-attribution ledger entry (category, interval, fraction).
 LEDGER_ENTRY = "ledger_entry"
@@ -57,6 +81,6 @@ JOB_LIFECYCLE = (
 #: Checkpoint-bearing events (Fig. 8's numerator, trace replay's count).
 CHECKPOINT_KINDS = (JOB_VACATED, JOB_PERIODIC_CHECKPOINT)
 
-ALL_KINDS = JOB_LIFECYCLE + (
+ALL_KINDS = JOB_LIFECYCLE + FAULT_KINDS + (
     LEDGER_ENTRY, OWNER_ARRIVED, OWNER_DEPARTED, TELEMETRY_ERROR,
 )

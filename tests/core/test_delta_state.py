@@ -229,22 +229,26 @@ class TestAntiEntropyRepair:
         coordinator = system.coordinator
         assert coordinator.view.known("home")
         net = system.network
-        real_message = net.message
+        real_rpc = net.rpc
         swallowed = []
 
-        def lossy_message(dst, op, payload=None):
+        # Pushes travel as acknowledged RPCs now; swallowing the RPC
+        # wholesale (no ack, no timeout event) models a push whose loss
+        # the sender never detects — the worst case anti-entropy exists
+        # to repair.
+        def lossy_rpc(dst, op, payload=None, **kwargs):
             if op == "state_update" and payload["station"] == "home":
                 swallowed.append(payload)
-                return
-            return real_message(dst, op, payload)
+                return None
+            return real_rpc(dst, op, payload, **kwargs)
 
-        net.message = lossy_message
+        net.rpc = lossy_rpc
         try:
             job = submit(system, 1, demand=50 * HOUR)[0]
             # Cycle 2 (t=240) sees a stale view: no grant possible.
             sim.run(until=350.0)
         finally:
-            net.message = real_message
+            net.rpc = real_rpc
         assert len(swallowed) == 1
         assert coordinator.grants_issued == 0
         assert job.state == "pending"

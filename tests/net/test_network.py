@@ -130,28 +130,33 @@ def test_loss_needs_stream(sim):
 
 
 def test_transfer_duration_matches_bandwidth(sim, net):
-    done_at = []
-    net.transfer("a", "b", 2.0).add_waiter(done_at.append)
+    outcomes = []
+    net.transfer("a", "b", 2.0).add_waiter(outcomes.append)
     sim.run()
-    assert done_at == [pytest.approx(0.01 + 2.0)]
+    assert len(outcomes) == 1
+    status, finish = outcomes[0]
+    assert status == "ok"
+    assert finish == pytest.approx(0.01 + 2.0)
 
 
 def test_transfers_serialize_per_endpoint(sim, net):
-    done_at = []
-    net.transfer("a", "b", 1.0).add_waiter(done_at.append)
-    net.transfer("a", "c", 1.0).add_waiter(done_at.append)
+    outcomes = []
+    net.transfer("a", "b", 1.0).add_waiter(outcomes.append)
+    net.transfer("a", "c", 1.0).add_waiter(outcomes.append)
     sim.run()
     first = 0.01 + 1.0
     second = first + 0.01 + 1.0
-    assert done_at == [pytest.approx(first), pytest.approx(second)]
+    assert [status for status, _ in outcomes] == ["ok", "ok"]
+    assert outcomes[0][1] == pytest.approx(first)
+    assert outcomes[1][1] == pytest.approx(second)
 
 
 def test_transfers_on_disjoint_endpoints_overlap(sim, net):
-    done_at = []
-    net.transfer("a", "b", 1.0).add_waiter(done_at.append)
-    net.transfer("c", "d", 1.0).add_waiter(done_at.append)
+    outcomes = []
+    net.transfer("a", "b", 1.0).add_waiter(outcomes.append)
+    net.transfer("c", "d", 1.0).add_waiter(outcomes.append)
     sim.run()
-    assert done_at[0] == pytest.approx(done_at[1])
+    assert outcomes[0][1] == pytest.approx(outcomes[1][1])
 
 
 def test_negative_transfer_rejected(net):
