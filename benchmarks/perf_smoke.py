@@ -112,6 +112,33 @@ def bench_telemetry_emit(k=50_000):
     return _best_of(once)
 
 
+def bench_checkpoint_store(jobs=8, days=8):
+    """Checksummed two-phase store under an 8-day checkpoint profile.
+
+    Models ``jobs`` background jobs cutting 15-minute periodic
+    checkpoints for ``days`` simulated days: every operation is a full
+    store (checksum + two-phase commit, two generations held) followed
+    by a verify-on-restore fetch.
+    """
+    from repro.machine import Disk
+    from repro.remote_unix import CheckpointImage, CheckpointStore
+
+    ops = jobs * days * 96        # one image per 15 minutes
+
+    def once():
+        store = CheckpointStore(Disk(500.0), generations=2)
+        t0 = time.perf_counter()
+        for i in range(ops):
+            sequence = i + 1
+            store.store(CheckpointImage(i % jobs, float(sequence), 0.5,
+                                        float(sequence), sequence))
+            image, _ = store.fetch_verified(i % jobs)
+            assert image is not None
+        return ops / (time.perf_counter() - t0)
+
+    return _best_of(once)
+
+
 def bench_mini_month(days=2, seed=42):
     """End-to-end: the full stack over a short horizon."""
     from repro.analysis.experiment import ExperimentRun
@@ -179,6 +206,7 @@ def measure_kernel():
         "wide_heap_eps": round(bench_wide_heap(), 1),
         "process_switch_eps": round(bench_process_switch(), 1),
         "telemetry_emit_eps": round(bench_telemetry_emit(), 1),
+        "checkpoint_store_ops": round(bench_checkpoint_store(), 1),
         "mini_month": bench_mini_month(),
     })
 
@@ -208,6 +236,7 @@ GATED = {
         ("wide_heap_eps",),
         ("process_switch_eps",),
         ("telemetry_emit_eps",),
+        ("checkpoint_store_ops",),
         ("mini_month", "events_per_sec"),
     ),
     "coordinator": (

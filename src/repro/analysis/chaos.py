@@ -27,12 +27,16 @@ from repro.core import (
 from repro.faults import (
     ChaosInjector,
     ChaosSchedule,
+    CorruptCheckpoint,
     CrashCoordinator,
     CrashMidTransfer,
     CrashStation,
+    DiskFail,
+    DiskPressure,
     LossBurst,
     NoLostJobsChecker,
     Partition,
+    TornWrite,
 )
 from repro.machine import AlternatingOwner, AlwaysActiveOwner
 from repro.metrics.timeseries import PeriodicSampler
@@ -116,6 +120,43 @@ def _kitchen_sink():
     )
 
 
+def _corrupt_restore():
+    return ChaosSchedule(
+        "corrupt-restore",
+        [
+            CorruptCheckpoint("home", at=2 * HOUR),
+            CorruptCheckpoint("home", at=5 * HOUR),
+            CorruptCheckpoint("home", at=9 * HOUR, newest=2),
+        ],
+        description="stored images rot on disk; verify-on-restore "
+                    "falls back a generation",
+    )
+
+
+def _torn_write():
+    return ChaosSchedule(
+        "torn-write",
+        [
+            TornWrite("home", at=1 * HOUR, duration=6 * HOUR, count=3),
+            TornWrite("home", at=10 * HOUR, duration=2 * HOUR, count=1),
+        ],
+        description="checkpoint writes tear mid-copy; two-phase commit "
+                    "keeps the previous generation",
+    )
+
+
+def _disk_chaos():
+    return ChaosSchedule(
+        "disk-chaos",
+        [
+            DiskPressure("home", at=2 * HOUR, free_mb=0.2,
+                         duration=90 * MINUTE),
+            DiskFail("home", at=6 * HOUR, duration=45 * MINUTE),
+        ],
+        description="the home disk fills up, then fails outright",
+    )
+
+
 #: Named schedule builders — fresh action instances per call, because
 #: actions carry per-run state (armed observers, restored loss rates).
 SCHEDULES = {
@@ -125,6 +166,23 @@ SCHEDULES = {
     "loss-burst": _loss_burst,
     "crash-mid-transfer": _crash_mid_transfer,
     "kitchen-sink": _kitchen_sink,
+    "corrupt-restore": _corrupt_restore,
+    "torn-write": _torn_write,
+    "disk-chaos": _disk_chaos,
+}
+
+#: Schedule groups runnable as ``repro-condor chaos --suite NAME``.
+SUITES = {
+    "network": ("station-crashes", "coordinator-outage", "partition",
+                "loss-burst", "crash-mid-transfer", "kitchen-sink"),
+    "storage": ("corrupt-restore", "torn-write", "disk-chaos"),
+}
+
+#: Per-scenario CondorConfig overrides, applied when the caller passes
+#: no explicit config.  corrupt-restore keeps two generations so a
+#: rotted newest image falls back instead of restarting from zero.
+SCENARIO_CONFIGS = {
+    "corrupt-restore": {"checkpoint_generations": 2},
 }
 
 
@@ -187,6 +245,7 @@ def run_chaos(schedule_name, seed=7, stations=6, n_jobs=8,
     network = Network(sim, loss_stream=stream.fork("net.loss"))
     config = config or CondorConfig(
         periodic_checkpoint_interval=15 * MINUTE,
+        **SCENARIO_CONFIGS.get(schedule_name, {}),
     )
     specs = [StationSpec("home", owner_model=AlwaysActiveOwner(),
                          disk_mb=500.0)]

@@ -188,10 +188,23 @@ def _cmd_sweep(args):
 
 
 def _cmd_chaos(args):
-    from repro.analysis.chaos import SCHEDULES, replay_identical, run_chaos
+    from repro.analysis.chaos import (
+        SCHEDULES,
+        SUITES,
+        replay_identical,
+        run_chaos,
+    )
     from repro.sim import SimulationError
 
-    names = args.schedules or sorted(SCHEDULES)
+    if args.suite:
+        if args.suite not in SUITES:
+            known = ", ".join(sorted(SUITES))
+            print(f"unknown suite {args.suite!r} (known: {known})",
+                  file=sys.stderr)
+            return 2
+        names = list(SUITES[args.suite]) + list(args.schedules or ())
+    else:
+        names = args.schedules or sorted(SCHEDULES)
     start = time.time()
     rows = []
     failures = 0
@@ -355,6 +368,9 @@ def build_parser():
                        help="schedules to run (default: all; known: "
                             + ", ".join(sorted(_CHAOS_SCHEDULES)) + ")")
     chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument("--suite", metavar="NAME",
+                       help="run a named schedule group (network, storage) "
+                            "instead of listing schedules")
     chaos.add_argument("--replay-check", action="store_true",
                        help="run each schedule twice and compare traces "
                             "byte-for-byte")

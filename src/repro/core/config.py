@@ -88,6 +88,11 @@ class CondorConfig:
     #: Save the text segment in checkpoints (§2.3 says yes; the shared-
     #: text optimisation of §4 turns this off).
     include_text_in_checkpoint: bool = True
+    #: Checkpoint generations each home store keeps per job.  1 is the
+    #: paper's one-file-per-job behaviour; 2+ lets verify-on-restore fall
+    #: back past a corrupted newest image at the cost of extra disk (§4's
+    #: disk-pressure bound tightens accordingly).
+    checkpoint_generations: int = 1
 
     def __post_init__(self):
         if self.poll_interval <= 0 or self.grace_period < 0:
@@ -128,3 +133,5 @@ class CondorConfig:
             raise SimulationError("retry_jitter_frac must be in [0, 1]")
         if self.push_retry_limit < 1 or self.placement_rpc_retries < 1:
             raise SimulationError("retry limits must be >= 1")
+        if self.checkpoint_generations < 1:
+            raise SimulationError("checkpoint_generations must be >= 1")

@@ -114,8 +114,13 @@ class Job:
         self.first_placed_at = None
         #: Stations the job has executed on, in order.
         self.placements = []
-        #: Times the job was checkpointed and moved (Fig. 8 numerator).
+        #: Times the job was checkpointed and moved with the image
+        #: durably stored (Fig. 8 numerator).
         self.checkpoint_count = 0
+        #: Checkpoint images lost in storage (disk full/failed, torn
+        #: write) — counted apart from stored ones; each loss restarts
+        #: the job from its previous surviving generation.
+        self.checkpoint_lost_count = 0
         #: In-place periodic checkpoints (future-work §4 strategy).
         self.periodic_checkpoint_count = 0
         #: Times the job was killed without a checkpoint (Butler ablation).

@@ -26,6 +26,7 @@ from repro.net import Node, ReliableSender
 from repro.remote_unix import (
     CheckpointImage,
     CheckpointStore,
+    CheckpointTornWrite,
     ShadowProcess,
     checkpoint_cpu_cost,
 )
@@ -84,7 +85,9 @@ class LocalScheduler(Node):
         self.bus = bus
         self.config = config
         self.queue = BackgroundJobQueue(station.name, config.queue_discipline)
-        self.store = CheckpointStore(station.disk)
+        self.store = CheckpointStore(
+            station.disk, generations=config.checkpoint_generations
+        )
         #: Home-side shadows for this station's remotely running jobs.
         self.shadows = {}
         #: Home-side map host-station-name -> our job placed there.
@@ -242,10 +245,16 @@ class LocalScheduler(Node):
             raise SubmissionRefused(
                 f"{self.name}: no disk for {job.name}'s {image_mb:.2f} MB image"
             )
-        self.store.store(CheckpointImage(
-            job.id, 0.0, image_mb, self.sim.now,
-            sequence=self.store.images_stored + 1,
-        ))
+        try:
+            self.store.store(CheckpointImage(
+                job.id, 0.0, image_mb, self.sim.now,
+                sequence=self.store.images_stored + 1,
+            ))
+        except (DiskFullError, CheckpointTornWrite) as exc:
+            self.bus.publish(ev.JOB_REFUSED, job=job, station=self.name)
+            raise SubmissionRefused(
+                f"{self.name}: could not spool {job.name}'s image ({exc})"
+            ) from None
         self.queue.enqueue(job)
         self.bus.publish(ev.JOB_SUBMITTED, job=job, station=self.name)
         self._mark_dirty()
@@ -339,6 +348,7 @@ class LocalScheduler(Node):
 
     def _begin_placement(self, job, host_name):
         """Ship the job's image to the host and ask it to start."""
+        self._restore_verified(job)
         job.transition(jobstate.PLACING)
         # New placement lease.  The incarnation is the home's revocation
         # token: bumped again if this placement is abandoned or the host
@@ -358,6 +368,31 @@ class LocalScheduler(Node):
         transfer.add_waiter(
             lambda outcome: self._image_transfer_settled(
                 job, host_name, outcome)
+        )
+
+    def _restore_verified(self, job):
+        """Verify-on-restore: never ship a corrupt or torn image.
+
+        Before a PENDING job is re-placed, its newest stored generation's
+        checksum is recomputed.  A failing image is discarded and the job
+        falls back to the next older generation — or, when none survives,
+        to a zero-progress restart (the executable is re-staged).  The
+        re-run work is booked as wasted like any other rollback, and the
+        fallback is telemetered so the no-lost-jobs checker can lower the
+        job's verified-checkpoint floor accordingly.
+        """
+        image, discarded = self.store.fetch_verified(job.id)
+        if discarded == 0:
+            return
+        restored = image.cpu_progress if image is not None else 0.0
+        job.checkpointed_progress = restored
+        lost = job.roll_back_to_checkpoint()
+        self.bus.metrics.counter("checkpoint.restore_fallback").inc()
+        self.bus.publish(
+            tk.CHECKPOINT_RESTORE_FALLBACK, job=job, station=self.name,
+            discarded=discarded, restored_progress=restored,
+            lost_progress=max(0.0, lost),
+            fallback="generation" if image is not None else "restart",
         )
 
     def _pick_job_that_fits(self, host_free_mb, host_arch):
@@ -485,11 +520,25 @@ class LocalScheduler(Node):
                 sequence=self.store.images_stored + 1,
             ))
             job.checkpointed_progress = job.progress
-        except DiskFullError:
-            # The checkpoint came home to a full disk: the image is lost
-            # and the job will restart from its previous stored image.
+            job.checkpoint_count += 1
+        except CheckpointTornWrite:
+            # The write tore mid-copy; the two-phase store kept every
+            # previous generation, so only this image's progress is lost.
             job.roll_back_to_checkpoint()
-        job.checkpoint_count += 1
+            job.checkpoint_lost_count += 1
+            self.bus.metrics.counter("checkpoint.dropped_torn_write").inc()
+            self.bus.publish(tk.CHECKPOINT_WRITE_TORN, job=job,
+                             station=self.name, purpose="vacate")
+        except DiskFullError:
+            # The checkpoint came home to a full (or failed) disk: the
+            # image is lost and the job will restart from its previous
+            # stored image.  Loud, not silent — the loss re-runs work.
+            job.roll_back_to_checkpoint()
+            job.checkpoint_lost_count += 1
+            self.bus.metrics.counter("checkpoint.dropped_disk_full").inc()
+            self.bus.publish(tk.CHECKPOINT_IMAGE_LOST, job=job,
+                             station=self.name, purpose="vacate",
+                             reason="disk_full")
         self.active_by_host.pop(host, None)
         job.transition(jobstate.PENDING)
         self.queue.return_to_pending(job)
@@ -580,17 +629,32 @@ class LocalScheduler(Node):
                 job.id, progress, image_mb, self.sim.now,
                 sequence=self.store.images_stored + 1,
             ))
-            job.checkpointed_progress = progress
-            if job.state == jobstate.PENDING and progress > job.progress:
-                # The job was killed after this image was cut: the image
-                # recovers work the rollback had written off.
-                job.progress = progress
-            job.periodic_checkpoint_count += 1
-            self.bus.publish(ev.JOB_PERIODIC_CHECKPOINT, job=job,
-                             station=self.name)
-            self._mark_dirty()
+        except CheckpointTornWrite:
+            # The older generations survive the torn write; the job
+            # merely loses this interval's durability.
+            job.checkpoint_lost_count += 1
+            self.bus.metrics.counter("checkpoint.dropped_torn_write").inc()
+            self.bus.publish(tk.CHECKPOINT_WRITE_TORN, job=job,
+                             station=self.name, purpose="periodic")
+            return
         except DiskFullError:
-            pass  # keep the older image; strictly worse but safe
+            # Keep the older image; strictly worse but safe — and loud,
+            # so disk pressure eating durability shows up in traces.
+            job.checkpoint_lost_count += 1
+            self.bus.metrics.counter("checkpoint.dropped_disk_full").inc()
+            self.bus.publish(tk.CHECKPOINT_IMAGE_LOST, job=job,
+                             station=self.name, purpose="periodic",
+                             reason="disk_full")
+            return
+        job.checkpointed_progress = progress
+        if job.state == jobstate.PENDING and progress > job.progress:
+            # The job was killed after this image was cut: the image
+            # recovers work the rollback had written off.
+            job.progress = progress
+        job.periodic_checkpoint_count += 1
+        self.bus.publish(ev.JOB_PERIODIC_CHECKPOINT, job=job,
+                         station=self.name)
+        self._mark_dirty()
 
     # ==================================================================
     # host side

@@ -18,18 +18,28 @@ from repro.faults.schedule import (
     LossBurst,
     Partition,
 )
+from repro.faults.storage import (
+    CorruptCheckpoint,
+    DiskFail,
+    DiskPressure,
+    TornWrite,
+)
 
 __all__ = [
     "ChaosContext",
     "ChaosInjector",
     "ChaosSchedule",
+    "CorruptCheckpoint",
     "CrashCoordinator",
     "CrashInjector",
     "CrashMidTransfer",
     "CrashStation",
+    "DiskFail",
+    "DiskPressure",
     "FaultAction",
     "LossBurst",
     "NoLostJobsChecker",
     "NoLostJobsViolation",
     "Partition",
+    "TornWrite",
 ]

@@ -10,7 +10,15 @@ job completion") reduces to three trace-checkable properties:
   notice machinery must deduplicate, not double-complete;
 * the durable checkpoint never regresses: once ``checkpointed_progress``
   reached *p*, no later event may observe it below *p* (crash recovery
-  rolls *progress* back to the checkpoint, never the checkpoint back).
+  rolls *progress* back to the checkpoint, never the checkpoint back) —
+  with one legitimate exception: a ``checkpoint_restore_fallback``
+  (verify-on-restore rejected a corrupt image) lowers the floor to the
+  older generation actually restored;
+* resumed progress never exceeds the last **verified** checkpoint: at
+  every ``job_placed`` the job's progress must sit at or below the
+  verified-checkpoint floor, and never equal a resume point that chaos
+  telemetry recorded as corrupted — a corrupt image is never resumed
+  from.
 
 :class:`NoLostJobsChecker` subscribes to the hub and evaluates these
 live.  Violations are **collected, not raised**, inside callbacks — a
@@ -33,6 +41,7 @@ _OBSERVED_KINDS = (
     kinds.JOB_PLACED, kinds.JOB_VACATED, kinds.JOB_PERIODIC_CHECKPOINT,
     kinds.JOB_RESUMED, kinds.JOB_PREEMPTED, kinds.JOB_KILLED,
     kinds.HOST_LOST, kinds.JOB_PLACEMENT_FAILED,
+    kinds.CHECKPOINT_IMAGE_LOST, kinds.CHECKPOINT_WRITE_TORN,
 )
 
 
@@ -58,13 +67,23 @@ class NoLostJobsChecker:
         self.completions = {}
         #: job ids explicitly removed (allowed to never complete).
         self.removed = set()
-        #: job id -> highest checkpointed_progress ever observed.
+        #: job id -> highest checkpointed_progress ever observed (lowered
+        #: only by a verified restore fallback).
         self.checkpoint_floor = {}
+        #: job id -> resume points (progress values) of images chaos
+        #: telemetry reported corrupted and not yet known-discarded.
+        self.poisoned = {}
+        #: checkpoint_restore_fallback events seen (diagnostics).
+        self.restore_fallbacks = 0
         #: Violation descriptions, in order of detection.
         self.violations = []
         bus.subscribe_event(kinds.JOB_SUBMITTED, self._on_submitted)
         bus.subscribe_event(kinds.JOB_COMPLETED, self._on_completed)
         bus.subscribe_event(kinds.JOB_REMOVED, self._on_removed)
+        bus.subscribe_event(kinds.CHECKPOINT_RESTORE_FALLBACK,
+                            self._on_restore_fallback)
+        bus.subscribe_event(kinds.FAULT_INJECTED, self._on_fault_injected)
+        bus.subscribe_event(kinds.JOB_PLACED, self._on_placed)
         for kind in _OBSERVED_KINDS:
             bus.subscribe_event(kind, self._on_observed)
 
@@ -90,6 +109,54 @@ class NoLostJobsChecker:
 
     def _on_observed(self, event):
         self._observe_checkpoint(event.sim_time, event.payload["job"])
+
+    def _on_restore_fallback(self, event):
+        """Verify-on-restore rejected the newest image: the floor drops
+        to the older generation actually restored — the one place a
+        lower ``checkpointed_progress`` is legitimate."""
+        job = event.payload["job"]
+        restored = event.payload["restored_progress"]
+        self.restore_fallbacks += 1
+        floor = self.checkpoint_floor.get(job.id, 0.0)
+        if restored > floor + 1e-6:
+            self._violate(
+                f"t={event.sim_time:.1f}: {job.name} restore fallback "
+                f"*raised* the floor {floor:.1f} -> {restored:.1f}"
+            )
+        self.checkpoint_floor[job.id] = restored
+        # The failing generations were discarded by the fallback, so
+        # their poisoned resume points can no longer be resumed from.
+        self.poisoned.pop(job.id, None)
+
+    def _on_fault_injected(self, event):
+        """Record which resume points a CorruptCheckpoint poisoned."""
+        for job_id, progress in event.payload.get("poisoned", ()):
+            job = self.submitted.get(job_id)
+            if job is not None and job.state == "placing":
+                # The in-flight placement read (and verified) the image
+                # before the bits flipped; resuming it is legitimate.
+                # Any *future* placement re-verifies and must fall back.
+                continue
+            self.poisoned.setdefault(job_id, []).append(progress)
+
+    def _on_placed(self, event):
+        """Execution began: resumed progress must not exceed the last
+        verified checkpoint, and must never be a poisoned resume point
+        (a corrupt image resumed from is work built on garbage)."""
+        job = event.payload["job"]
+        floor = self.checkpoint_floor.get(job.id, 0.0)
+        if job.progress > floor + 1e-6:
+            self._violate(
+                f"t={event.sim_time:.1f}: {job.name} resumed at "
+                f"{job.progress:.1f} beyond verified checkpoint "
+                f"{floor:.1f}"
+            )
+        for progress in self.poisoned.get(job.id, ()):
+            if abs(job.progress - progress) < 1e-9:
+                self._violate(
+                    f"t={event.sim_time:.1f}: {job.name} resumed from a "
+                    f"corrupt image at progress {progress:.1f}"
+                )
 
     def _observe_checkpoint(self, t, job):
         floor = self.checkpoint_floor.get(job.id, 0.0)

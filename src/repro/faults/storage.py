@@ -1,0 +1,159 @@
+"""Storage fault actions: disks and checkpoint images misbehaving.
+
+PR 4 made the *network* crash-aware; these actions extend the same
+declarative chaos discipline to the other half of the fault surface the
+paper's §4 worries about — the checkpoint files themselves and the disks
+that hold them:
+
+* :class:`CorruptCheckpoint` — flip bits in stored images; caught by
+  verify-on-restore, which falls back a generation instead of resuming
+  from garbage;
+* :class:`TornWrite` — checkpoint writes tear mid-copy; the two-phase
+  store keeps every prior generation, so only the torn image's progress
+  is lost;
+* :class:`DiskFail` — the disk refuses all allocations for a window
+  (checkpoint drops, placement refusals — loud, telemetered losses);
+* :class:`DiskPressure` — squeeze a disk's free space down to a target,
+  the §4 small-disk failure mode made injectable.
+
+Like every :class:`~repro.faults.schedule.FaultAction`, these contain no
+randomness of their own: the same schedule + seed replays its telemetry
+trace byte-for-byte.
+"""
+
+from repro.faults.schedule import FaultAction
+from repro.sim.errors import SimulationError
+
+
+class CorruptCheckpoint(FaultAction):
+    """Corrupt stored checkpoint images on one station at ``at``.
+
+    Flips the checksum of the newest ``newest`` generation(s) of every
+    job's images in the station's store (or only ``job_name``'s, when
+    given).  Nothing fails at injection time — the damage surfaces when
+    verify-on-restore recomputes the checksum and falls back to an older
+    generation (``checkpoint_restore_fallback``) instead of resuming
+    from the corrupt image.
+    """
+
+    kind = "checkpoint_corrupt"
+
+    def __init__(self, station, at, job_name=None, newest=1):
+        super().__init__(at, duration=None)
+        if newest < 1:
+            raise SimulationError(f"must corrupt >= 1 generations, {newest}")
+        self.station = station
+        self.job_name = job_name
+        self.newest = int(newest)
+        #: (job id, progress) of images corrupted (set at injection).
+        self.poisoned = []
+
+    def inject(self, ctx):
+        store = ctx.scheduler(self.station).store
+        job_id = None
+        if self.job_name is not None:
+            job_id = next((job.id for job in ctx.system.jobs
+                           if job.name == self.job_name), None)
+            if job_id is None:
+                raise SimulationError(
+                    f"CorruptCheckpoint: no job named {self.job_name!r}"
+                )
+        self.poisoned = store.corrupt(job_id=job_id, newest=self.newest)
+
+    def describe(self):
+        return {"station": self.station, "job": self.job_name or "",
+                "corrupted": len(self.poisoned),
+                "poisoned": [list(pair) for pair in self.poisoned]}
+
+
+class TornWrite(FaultAction):
+    """Make the next ``count`` checkpoint writes on a station tear.
+
+    Armed at ``at`` and disarmed at ``at + duration`` (when a duration is
+    given); each affected :meth:`CheckpointStore.store` aborts before
+    commit, so the two-phase write keeps every previous generation and
+    the scheduler telemeters ``checkpoint_write_torn``.
+    """
+
+    kind = "torn_write"
+
+    def __init__(self, station, at, duration=None, count=1):
+        super().__init__(at, duration)
+        if count < 1:
+            raise SimulationError(f"must tear >= 1 writes, got {count}")
+        self.station = station
+        self.count = int(count)
+
+    def inject(self, ctx):
+        ctx.scheduler(self.station).store.arm_torn_writes(self.count)
+
+    def clear(self, ctx):
+        ctx.scheduler(self.station).store.disarm_torn_writes()
+
+    def describe(self):
+        return {"station": self.station, "count": self.count}
+
+
+class DiskFail(FaultAction):
+    """Take one station's disk down at ``at``; repair after ``duration``.
+
+    While failed every allocation raises — checkpoint stores drop their
+    images (``checkpoint_image_lost``), foreign placements are refused
+    (``disk_full``), submissions bounce — but live allocations and
+    releases are unaffected: the space is not lost, only new writes.
+    """
+
+    kind = "disk_fail"
+
+    def __init__(self, station, at, duration):
+        if duration is None:
+            raise SimulationError("DiskFail needs a duration")
+        super().__init__(at, duration)
+        self.station = station
+
+    def inject(self, ctx):
+        ctx.system.stations[self.station].disk.fail()
+
+    def clear(self, ctx):
+        ctx.system.stations[self.station].disk.repair()
+
+    def describe(self):
+        return {"station": self.station}
+
+
+class DiskPressure(FaultAction):
+    """Squeeze a station's disk so at most ``free_mb`` stays free.
+
+    Injects a filler allocation of ``current_free - free_mb`` (a runaway
+    local build, a user filling their home directory — §4's small-disk
+    bound made injectable) and releases it after ``duration`` (or never,
+    without one).  A disk already tighter than the target is left alone.
+    """
+
+    kind = "disk_pressure"
+
+    def __init__(self, station, at, free_mb, duration=None):
+        super().__init__(at, duration)
+        if free_mb < 0:
+            raise SimulationError(f"negative free_mb target {free_mb}")
+        self.station = station
+        self.free_mb = float(free_mb)
+        #: MB actually squeezed (set at injection; diagnostics).
+        self.squeezed_mb = 0.0
+        self._filler = None
+
+    def inject(self, ctx):
+        disk = ctx.system.stations[self.station].disk
+        squeeze = disk.free_mb - self.free_mb
+        if disk.failed or squeeze <= 0:
+            return
+        self._filler = disk.allocate(squeeze, purpose="chaos-pressure")
+        self.squeezed_mb = squeeze
+
+    def clear(self, ctx):
+        if self._filler is not None:
+            self._filler.release()
+            self._filler = None
+
+    def describe(self):
+        return {"station": self.station, "free_mb": self.free_mb}

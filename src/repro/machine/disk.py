@@ -21,6 +21,23 @@ class DiskFullError(SimulationError):
         self.requested_mb = requested_mb
 
 
+class DiskFailedError(DiskFullError):
+    """The disk (controller) is down: no allocation succeeds at any size.
+
+    Subclasses :class:`DiskFullError` so every handler of a full disk —
+    checkpoint drops, placement refusals, submission refusals — covers a
+    failed one with the same recovery path.
+    """
+
+    def __init__(self, disk, requested_mb):
+        SimulationError.__init__(
+            self,
+            f"disk {disk.station_name!r}: failed, cannot allocate "
+            f"{requested_mb:.2f} MB"
+        )
+        self.requested_mb = requested_mb
+
+
 class Allocation:
     """A live reservation of disk space; release via :meth:`release`."""
 
@@ -53,6 +70,10 @@ class Disk:
         self.capacity_mb = float(capacity_mb)
         self.station_name = station_name
         self.used_mb = 0.0
+        #: While ``True`` every allocation fails (storage chaos: the
+        #: controller browned out).  Live allocations stay charged and
+        #: releases still work — the space itself is not lost.
+        self.failed = False
         self._allocations = []
 
     @property
@@ -62,12 +83,23 @@ class Disk:
 
     def fits(self, size_mb):
         """Whether an allocation of ``size_mb`` would currently succeed."""
-        return size_mb <= self.free_mb + 1e-9
+        return not self.failed and size_mb <= self.free_mb + 1e-9
+
+    def fail(self):
+        """Take the disk down: every allocation raises until :meth:`repair`."""
+        self.failed = True
+
+    def repair(self):
+        """Bring a failed disk back; allocations succeed again."""
+        self.failed = False
 
     def allocate(self, size_mb, purpose="scratch"):
-        """Reserve ``size_mb``; raises :class:`DiskFullError` if it won't fit."""
+        """Reserve ``size_mb``; raises :class:`DiskFullError` if it won't fit
+        (:class:`DiskFailedError` while the disk is down)."""
         if size_mb < 0:
             raise SimulationError(f"negative allocation {size_mb}")
+        if self.failed:
+            raise DiskFailedError(self, size_mb)
         if not self.fits(size_mb):
             raise DiskFullError(self, size_mb)
         allocation = Allocation(self, float(size_mb), purpose)

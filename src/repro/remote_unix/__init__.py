@@ -4,6 +4,7 @@ from repro.remote_unix.checkpoint import (
     CHECKPOINT_CPU_S_PER_MB,
     CheckpointImage,
     CheckpointStore,
+    CheckpointTornWrite,
     checkpoint_cpu_cost,
 )
 from repro.remote_unix.segments import KB_PER_MB, SegmentLayout, typical_layout
@@ -21,6 +22,7 @@ __all__ = [
     "KB_PER_MB",
     "CheckpointImage",
     "CheckpointStore",
+    "CheckpointTornWrite",
     "checkpoint_cpu_cost",
     "CHECKPOINT_CPU_S_PER_MB",
     "ShadowProcess",

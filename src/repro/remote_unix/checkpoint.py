@@ -1,11 +1,28 @@
-"""Checkpoint images and their costs.
+"""Checkpoint images and their durable, corruption-aware storage.
 
 A checkpoint freezes a job's progress so execution can resume "at any
 time, and on any machine in the system" (§2.3).  The reproduction models
 an image as (job id, CPU progress, size); the paper's measured cost is
 5 seconds of home-station CPU per megabyte, with an average image of
 0.5 MB — hence the headline 2.5 s average placement/checkpoint cost.
+
+Section 4 makes these files the system's Achilles' heel: they gate
+placement, bound how many jobs a small disk can carry, and a lost image
+silently re-runs work.  The store therefore treats every image as
+suspect until proven whole:
+
+* each :class:`CheckpointImage` carries a **checksum** computed at
+  freeze time and a **generation** number assigned at commit;
+* :class:`CheckpointStore` keeps the last ``generations`` images per job
+  (default 1 = the paper's one-file-per-job behaviour) so a corrupt
+  newest image can fall back to its predecessor;
+* writes are **two-phase** — space for the new image is allocated
+  *before* the old generation is released (a transient double charge
+  against the disk), so a write that tears mid-copy can never lose both
+  the old and the new image at once.
 """
+
+import zlib
 
 from repro.sim.errors import SimulationError
 
@@ -20,15 +37,36 @@ def checkpoint_cpu_cost(size_mb):
     return CHECKPOINT_CPU_S_PER_MB * size_mb
 
 
+class CheckpointTornWrite(SimulationError):
+    """A checkpoint write tore mid-copy; the previous image survives.
+
+    Raised by :meth:`CheckpointStore.store` when a torn write is armed
+    (storage chaos).  Because the store is two-phase the failed write
+    costs nothing durable: the new image is discarded before commit and
+    every prior generation is still on disk.
+    """
+
+
+def _image_checksum(job_id, cpu_progress, size_mb, taken_at, sequence):
+    """Deterministic content fingerprint of an image's frozen state."""
+    text = f"{job_id}|{cpu_progress!r}|{size_mb!r}|{taken_at!r}|{sequence}"
+    return zlib.crc32(text.encode("utf-8"))
+
+
 class CheckpointImage:
     """A frozen execution state: resume point plus image bytes.
 
     ``cpu_progress`` is the seconds of the job's service demand completed
     at freeze time; restarting from this image repeats no finished work.
     ``sequence`` counts images taken for the job (diagnostics).
+    ``checksum`` fingerprints the frozen state; :meth:`verify` recomputes
+    it, so on-disk corruption (:meth:`corrupt`, used by storage chaos) is
+    detected before the image is ever resumed from.  ``generation`` is
+    assigned by the store at commit time (newest = highest).
     """
 
-    __slots__ = ("job_id", "cpu_progress", "size_mb", "taken_at", "sequence")
+    __slots__ = ("job_id", "cpu_progress", "size_mb", "taken_at", "sequence",
+                 "checksum", "generation")
 
     def __init__(self, job_id, cpu_progress, size_mb, taken_at, sequence):
         if cpu_progress < 0 or size_mb < 0:
@@ -40,59 +78,187 @@ class CheckpointImage:
         self.size_mb = float(size_mb)
         self.taken_at = float(taken_at)
         self.sequence = int(sequence)
+        self.checksum = _image_checksum(
+            self.job_id, self.cpu_progress, self.size_mb, self.taken_at,
+            self.sequence,
+        )
+        self.generation = 0
+
+    def verify(self):
+        """Whether the stored checksum still matches the image's content."""
+        return self.checksum == _image_checksum(
+            self.job_id, self.cpu_progress, self.size_mb, self.taken_at,
+            self.sequence,
+        )
+
+    def corrupt(self):
+        """Flip the on-disk bits (storage chaos hook).  Idempotent."""
+        self.checksum ^= 0x5A5A5A5A
 
     def __repr__(self):
         return (
             f"<CheckpointImage job={self.job_id} #{self.sequence} "
-            f"progress={self.cpu_progress:.0f}s size={self.size_mb:.2f}MB>"
+            f"gen={self.generation} progress={self.cpu_progress:.0f}s "
+            f"size={self.size_mb:.2f}MB>"
         )
+
+
+class _StoredImage:
+    """One committed generation: the image plus its disk allocation."""
+
+    __slots__ = ("image", "allocation")
+
+    def __init__(self, image, allocation):
+        self.image = image
+        self.allocation = allocation
 
 
 class CheckpointStore:
     """Checkpoint files held on a (home) station's disk.
 
-    Keeps exactly one image per job — a new checkpoint supersedes the old
-    one, releasing its disk space — matching the paper's one-file-per-job
-    description and its §4 complaint that these files limit how many jobs
-    a user with a small disk can keep in the system.
+    Keeps the newest ``generations`` images per job (default 1 — the
+    paper's one-file-per-job description and its §4 complaint that these
+    files limit how many jobs a user with a small disk can keep in the
+    system).  Storing is two-phase: the new image's space is allocated
+    while every old generation is still held, and only then is the
+    surplus oldest generation released — so a torn write (armed via
+    :meth:`arm_torn_writes`) aborts before commit and loses nothing.
     """
 
-    def __init__(self, disk):
+    def __init__(self, disk, generations=1):
+        if generations < 1:
+            raise SimulationError(
+                f"checkpoint generations must be >= 1, got {generations}"
+            )
         self.disk = disk
-        self._images = {}
-        self._allocations = {}
-        #: Total images ever stored (diagnostics).
+        self.generations = int(generations)
+        #: job id -> [_StoredImage, ...] newest first.
+        self._slots = {}
+        #: job id -> generations committed so far (monotonic).
+        self._generation_counter = {}
+        #: Total images ever committed (diagnostics).
         self.images_stored = 0
+        #: Writes that tore before commit (storage chaos).
+        self.torn_writes = 0
+        #: Generations discarded because verification failed.
+        self.corrupt_discarded = 0
+        self._torn_armed = 0
+
+    # ------------------------------------------------------------------
+    # write path
 
     def can_store(self, job_id, size_mb):
-        """Whether a new image of ``size_mb`` for ``job_id`` would fit."""
-        current = self._allocations.get(job_id)
-        headroom = self.disk.free_mb + (current.size_mb if current else 0.0)
-        return size_mb <= headroom + 1e-9
+        """Whether a new image of ``size_mb`` for ``job_id`` would fit.
+
+        Two-phase semantics: the new image needs free space *while every
+        current generation is still held* (the old image is only
+        released after commit, so a torn write can't lose both).
+        """
+        return self.disk.fits(size_mb)
 
     def store(self, image):
-        """Store an image, superseding any previous image for the job."""
-        previous = self._allocations.pop(image.job_id, None)
-        if previous is not None:
-            previous.release()
+        """Commit an image as the job's newest generation.
+
+        Phase one allocates the new image's space (raising
+        :class:`~repro.machine.disk.DiskFullError` — old generations
+        untouched — if it won't fit, or :class:`CheckpointTornWrite` if
+        a torn write is armed).  Phase two commits: the image becomes
+        the newest generation and the surplus oldest one is released.
+        """
         allocation = self.disk.allocate(image.size_mb, purpose="checkpoint")
-        self._images[image.job_id] = image
-        self._allocations[image.job_id] = allocation
+        if self._torn_armed > 0:
+            # The copy tore before the commit record was written: free
+            # the partial file; every prior generation is intact.
+            self._torn_armed -= 1
+            self.torn_writes += 1
+            allocation.release()
+            raise CheckpointTornWrite(
+                f"torn write storing {image!r} on "
+                f"{self.disk.station_name!r}; previous generation kept"
+            )
+        generation = self._generation_counter.get(image.job_id, 0) + 1
+        self._generation_counter[image.job_id] = generation
+        image.generation = generation
+        slots = self._slots.setdefault(image.job_id, [])
+        slots.insert(0, _StoredImage(image, allocation))
+        while len(slots) > self.generations:
+            superseded = slots.pop()
+            superseded.allocation.release()
         self.images_stored += 1
 
+    def arm_torn_writes(self, count=1):
+        """Make the next ``count`` stores tear mid-write (storage chaos)."""
+        if count < 0:
+            raise SimulationError(f"negative torn-write count {count}")
+        self._torn_armed += int(count)
+
+    def disarm_torn_writes(self):
+        """Cancel any armed-but-unconsumed torn writes."""
+        self._torn_armed = 0
+
+    # ------------------------------------------------------------------
+    # read path
+
     def fetch(self, job_id):
-        """The current image for ``job_id``, or ``None``."""
-        return self._images.get(job_id)
+        """The newest image for ``job_id`` (unverified), or ``None``."""
+        slots = self._slots.get(job_id)
+        return slots[0].image if slots else None
+
+    def fetch_verified(self, job_id):
+        """The newest image that passes verification, discarding failures.
+
+        Walks generations newest-to-oldest; each image that fails
+        :meth:`CheckpointImage.verify` is dropped (its space released)
+        before the next older one is tried.  Returns ``(image,
+        discarded)`` where ``image`` is ``None`` if no generation
+        survives — the caller restarts the job from zero progress.
+        """
+        slots = self._slots.get(job_id)
+        if not slots:
+            return None, 0
+        discarded = 0
+        while slots:
+            stored = slots[0]
+            if stored.image.verify():
+                return stored.image, discarded
+            slots.pop(0)
+            stored.allocation.release()
+            discarded += 1
+            self.corrupt_discarded += 1
+        del self._slots[job_id]
+        return None, discarded
+
+    def generations_of(self, job_id):
+        """All stored images for the job, newest first (diagnostics)."""
+        return [stored.image for stored in self._slots.get(job_id, ())]
+
+    def corrupt(self, job_id=None, newest=1):
+        """Corrupt the newest ``newest`` generations (storage chaos hook).
+
+        Targets one job or — with ``job_id=None`` — every job in the
+        store.  Returns the ``(job_id, cpu_progress)`` pairs of the
+        images corrupted, so chaos telemetry can record exactly which
+        resume points were poisoned (the no-lost-jobs checker asserts
+        none of them is ever resumed from).
+        """
+        poisoned = []
+        for jid, slots in self._slots.items():
+            if job_id is not None and jid != job_id:
+                continue
+            for stored in slots[:newest]:
+                stored.image.corrupt()
+                poisoned.append((jid, stored.image.cpu_progress))
+        return poisoned
 
     def discard(self, job_id):
-        """Drop the job's image (job finished or was removed)."""
-        self._images.pop(job_id, None)
-        allocation = self._allocations.pop(job_id, None)
-        if allocation is not None:
-            allocation.release()
+        """Drop every generation (job finished or was removed)."""
+        for stored in self._slots.pop(job_id, ()):
+            stored.allocation.release()
 
     def __len__(self):
-        return len(self._images)
+        return len(self._slots)
 
     def __repr__(self):
-        return f"<CheckpointStore {len(self._images)} images on {self.disk!r}>"
+        images = sum(len(slots) for slots in self._slots.values())
+        return (f"<CheckpointStore {len(self._slots)} jobs / {images} images "
+                f"(keep {self.generations}) on {self.disk!r}>")

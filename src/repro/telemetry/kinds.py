@@ -52,10 +52,29 @@ MESSAGE_GIVE_UP = "message_give_up"
 #: the cycles are booked as wasted, the slot is freed.
 STALE_EXECUTION_REAPED = "stale_execution_reaped"
 
+# -- checkpoint storage faults ------------------------------------------
+#: A checkpoint image that came home could not be stored (disk full or
+#: failed): the image is lost and the job restarts from its previous
+#: generation.  Previously this loss was silent.
+CHECKPOINT_IMAGE_LOST = "checkpoint_image_lost"
+#: A checkpoint write tore mid-copy; the two-phase store kept every
+#: previous generation, so only the progress in the torn image is lost.
+CHECKPOINT_WRITE_TORN = "checkpoint_write_torn"
+#: Verify-on-restore rejected the newest stored image (checksum
+#: mismatch) and fell back to an older generation — or, with none left,
+#: to a zero-progress restart.  A corrupt image is never resumed from.
+CHECKPOINT_RESTORE_FALLBACK = "checkpoint_restore_fallback"
+
 #: The fault/recovery vocabulary (chaos traces are built from these).
 FAULT_KINDS = (
     FAULT_INJECTED, FAULT_CLEARED, TRANSFER_FAILED, MESSAGE_RETRY,
     MESSAGE_GIVE_UP, STALE_EXECUTION_REAPED,
+)
+
+#: Checkpoint-durability vocabulary (storage chaos traces add these).
+STORAGE_KINDS = (
+    CHECKPOINT_IMAGE_LOST, CHECKPOINT_WRITE_TORN,
+    CHECKPOINT_RESTORE_FALLBACK,
 )
 
 # -- machine substrate --------------------------------------------------
@@ -81,6 +100,6 @@ JOB_LIFECYCLE = (
 #: Checkpoint-bearing events (Fig. 8's numerator, trace replay's count).
 CHECKPOINT_KINDS = (JOB_VACATED, JOB_PERIODIC_CHECKPOINT)
 
-ALL_KINDS = JOB_LIFECYCLE + FAULT_KINDS + (
+ALL_KINDS = JOB_LIFECYCLE + FAULT_KINDS + STORAGE_KINDS + (
     LEDGER_ENTRY, OWNER_ARRIVED, OWNER_DEPARTED, TELEMETRY_ERROR,
 )

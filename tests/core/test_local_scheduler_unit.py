@@ -13,6 +13,7 @@ from repro.core import (
 from repro.core import job as jobstate
 from repro.machine import AlwaysActiveOwner, NeverActiveOwner
 from repro.sim import DAY, HOUR, Simulation
+from repro.telemetry import kinds as tk
 
 
 def build(hosts=1, config=None, home_disk=None):
@@ -128,6 +129,127 @@ class TestGrantCornerCases:
                             config=CondorConfig(scheduler_daemon_load=0.0))
         sim.run(until=10 * HOUR)
         assert system.station("home").ledger.totals["scheduler"] == 0.0
+
+
+class TestStorageDurability:
+    """The loud-loss paths: full disks, torn writes, corrupt restores."""
+
+    def _vacate_payload(self, job, host="h0"):
+        return {"job": job, "host": host, "image_mb": job.image_mb(),
+                "slices": [], "reason": "owner_returned",
+                "incarnation": job.incarnation}
+
+    def _running_job(self, system, sim):
+        job = Job(user="u", home="home", demand_seconds=10 * HOUR)
+        system.submit(job)
+        sim.run(until=HOUR)
+        assert job.state == jobstate.RUNNING
+        return job
+
+    def test_vacate_checkpoint_stored_counts_image(self):
+        sim, system = build()
+        job = self._running_job(system, sim)
+        job.progress = 1800.0      # the host's bookkeeping at vacate time
+        job.transition(jobstate.VACATING)
+        system.scheduler("home")._handle_job_vacated(
+            self._vacate_payload(job))
+        assert job.checkpoint_count == 1
+        assert job.checkpoint_lost_count == 0
+        assert job.checkpointed_progress == 1800.0
+
+    def test_vacate_disk_full_is_loud_not_silent(self):
+        sim, system = build()
+        scheduler = system.scheduler("home")
+        job = self._running_job(system, sim)
+        job.progress = 1800.0
+        job.transition(jobstate.VACATING)
+        disk = system.station("home").disk
+        disk.allocate(disk.free_mb, purpose="filler")
+        seen = []
+        system.bus.subscribe_event(tk.CHECKPOINT_IMAGE_LOST, seen.append)
+        scheduler._handle_job_vacated(self._vacate_payload(job))
+        # The image was lost, telemetered, and not counted as stored.
+        assert [e.payload["purpose"] for e in seen] == ["vacate"]
+        assert seen[0].payload["reason"] == "disk_full"
+        assert job.checkpoint_count == 0
+        assert job.checkpoint_lost_count == 1
+        counter = system.bus.metrics.counter("checkpoint.dropped_disk_full")
+        assert counter.value == 1
+        # The job rolled back to its last stored image and is queued.
+        assert job.progress == job.checkpointed_progress == 0.0
+        assert job.state == jobstate.PENDING
+
+    def test_vacate_torn_write_keeps_previous_image(self):
+        sim, system = build()
+        scheduler = system.scheduler("home")
+        job = self._running_job(system, sim)
+        job.progress = 1800.0
+        job.transition(jobstate.VACATING)
+        scheduler.store.arm_torn_writes(1)
+        seen = []
+        system.bus.subscribe_event(tk.CHECKPOINT_WRITE_TORN, seen.append)
+        scheduler._handle_job_vacated(self._vacate_payload(job))
+        assert [e.payload["purpose"] for e in seen] == ["vacate"]
+        assert job.checkpoint_count == 0
+        assert job.checkpoint_lost_count == 1
+        counter = system.bus.metrics.counter("checkpoint.dropped_torn_write")
+        assert counter.value == 1
+        # The initial (submit-time) image survived the torn write.
+        image = scheduler.store.fetch(job.id)
+        assert image is not None and image.cpu_progress == 0.0
+
+    def test_periodic_checkpoint_disk_full_is_loud(self):
+        sim, system = build()
+        scheduler = system.scheduler("home")
+        job = self._running_job(system, sim)
+        disk = system.station("home").disk
+        disk.allocate(disk.free_mb, purpose="filler")
+        seen = []
+        system.bus.subscribe_event(tk.CHECKPOINT_IMAGE_LOST, seen.append)
+        scheduler._handle_periodic_checkpoint({
+            "job": job, "image_mb": job.image_mb(), "progress": 600.0,
+            "incarnation": job.incarnation,
+        })
+        assert [e.payload["purpose"] for e in seen] == ["periodic"]
+        assert job.periodic_checkpoint_count == 0
+        assert job.checkpoint_lost_count == 1
+        assert job.checkpointed_progress == 0.0
+        counter = system.bus.metrics.counter("checkpoint.dropped_disk_full")
+        assert counter.value == 1
+
+    def test_restore_fallback_on_corrupt_image(self):
+        sim, system = build(hosts=0)
+        scheduler = system.scheduler("home")
+        job = Job(user="u", home="home", demand_seconds=HOUR)
+        system.submit(job)
+        scheduler.store.corrupt(job.id)
+        seen = []
+        system.bus.subscribe_event(tk.CHECKPOINT_RESTORE_FALLBACK,
+                                   seen.append)
+        scheduler._restore_verified(job)
+        assert len(seen) == 1
+        assert seen[0].payload["fallback"] == "restart"
+        assert seen[0].payload["discarded"] == 1
+        assert job.checkpointed_progress == 0.0
+        # The corrupt image was discarded, never shipped.
+        assert scheduler.store.fetch(job.id) is None
+        counter = system.bus.metrics.counter("checkpoint.restore_fallback")
+        assert counter.value == 1
+
+    def test_clean_restore_emits_nothing(self):
+        sim, system = build(hosts=0)
+        scheduler = system.scheduler("home")
+        job = Job(user="u", home="home", demand_seconds=HOUR)
+        system.submit(job)
+        seen = []
+        system.bus.subscribe_event(tk.CHECKPOINT_RESTORE_FALLBACK,
+                                   seen.append)
+        scheduler._restore_verified(job)
+        assert seen == []
+
+    def test_generations_config_reaches_store(self):
+        sim, system = build(config=CondorConfig(checkpoint_generations=3))
+        assert system.scheduler("home").store.generations == 3
 
 
 class TestSliceAccounting:

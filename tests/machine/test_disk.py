@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.machine import Disk, DiskFullError
+from repro.machine import Disk, DiskFailedError, DiskFullError
 from repro.sim import SimulationError
 
 
@@ -76,6 +76,60 @@ def test_usage_by_purpose():
     disk.allocate(20.0, purpose="image")
     usage = disk.usage_by_purpose()
     assert usage == {"checkpoint": 15.0, "image": 20.0}
+
+
+def test_double_release_keeps_purpose_accounting():
+    disk = Disk(100.0)
+    keep = disk.allocate(10.0, purpose="checkpoint")
+    gone = disk.allocate(5.0, purpose="checkpoint")
+    gone.release()
+    gone.release()
+    assert disk.usage_by_purpose() == {"checkpoint": 10.0}
+    assert disk.free_mb == 90.0
+    keep.release()
+
+
+def test_purpose_accounting_after_interleaved_alloc_release():
+    disk = Disk(100.0)
+    ckpt_a = disk.allocate(10.0, purpose="checkpoint")
+    image = disk.allocate(20.0, purpose="image")
+    ckpt_b = disk.allocate(5.0, purpose="checkpoint")
+    ckpt_a.release()
+    scratch = disk.allocate(7.0, purpose="scratch")
+    image.release()
+    assert disk.usage_by_purpose() == {"checkpoint": 5.0, "scratch": 7.0}
+    assert disk.used_mb == pytest.approx(12.0)
+    ckpt_b.release()
+    scratch.release()
+    assert disk.usage_by_purpose() == {}
+
+
+def test_exact_fit_allocation():
+    disk = Disk(10.0)
+    allocation = disk.allocate(10.0)
+    assert disk.free_mb == pytest.approx(0.0, abs=1e-9)
+    assert not disk.fits(0.1)
+    with pytest.raises(DiskFullError):
+        disk.allocate(0.1)
+    allocation.release()
+    assert disk.fits(10.0)
+
+
+def test_failed_disk_refuses_all_allocations():
+    disk = Disk(100.0, station_name="ws-9")
+    live = disk.allocate(10.0, purpose="checkpoint")
+    disk.fail()
+    assert not disk.fits(0.0)
+    with pytest.raises(DiskFailedError) as excinfo:
+        disk.allocate(1.0)
+    # DiskFailedError must trip every disk-full handler.
+    assert isinstance(excinfo.value, DiskFullError)
+    assert "ws-9" in str(excinfo.value)
+    # The space itself is not lost: releases still work while down.
+    live.release()
+    assert disk.free_mb == 100.0
+    disk.repair()
+    disk.allocate(1.0)
 
 
 @given(st.lists(st.floats(0.1, 20.0), min_size=0, max_size=30))

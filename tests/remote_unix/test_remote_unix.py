@@ -103,12 +103,23 @@ class TestCheckpointStore:
     def test_discard_unknown_is_noop(self):
         self.make_store().discard("ghost")
 
-    def test_can_store_accounts_for_superseded_image(self):
+    def test_can_store_is_two_phase(self):
         store = self.make_store(capacity=5.0)
         store.store(self.image(size=4.0))
-        # 4 MB held + 1 MB free, but replacing frees the old 4 MB first.
-        assert store.can_store("j1", 4.5)
+        # Two-phase write: the new image needs free space while the old
+        # generation is still held, so 4 MB held + 1 MB free fits neither.
+        assert not store.can_store("j1", 4.5)
         assert not store.can_store("j2", 4.5)
+        assert store.can_store("j1", 1.0)
+
+    def test_supersede_charges_both_images_transiently(self):
+        store = self.make_store(capacity=5.0)
+        store.store(self.image(size=3.0, seq=1))
+        with pytest.raises(SimulationError):
+            store.store(self.image(progress=200.0, size=2.5, seq=2))
+        # The failed write lost nothing: the old image is still stored.
+        assert store.fetch("j1").cpu_progress == 100.0
+        assert store.disk.used_mb == pytest.approx(3.0)
 
     def test_images_stored_counter(self):
         store = self.make_store()
@@ -119,6 +130,91 @@ class TestCheckpointStore:
     def test_bad_image_rejected(self):
         with pytest.raises(SimulationError):
             CheckpointImage("j", -1.0, 0.5, 0.0, 1)
+
+    def test_generations_assigned_monotonically(self):
+        store = self.make_store()
+        store.store(self.image(seq=1))
+        store.store(self.image(progress=200.0, seq=2))
+        assert store.fetch("j1").generation == 2
+        store.discard("j1")
+        store.store(self.image(progress=300.0, seq=3))
+        # Counter is per job and survives discards (no generation reuse).
+        assert store.fetch("j1").generation == 3
+
+    def test_multiple_generations_kept(self):
+        store = CheckpointStore(Disk(10.0), generations=2)
+        store.store(self.image(progress=100.0, size=1.0, seq=1))
+        store.store(self.image(progress=200.0, size=1.0, seq=2))
+        store.store(self.image(progress=300.0, size=1.0, seq=3))
+        kept = [img.cpu_progress for img in store.generations_of("j1")]
+        assert kept == [300.0, 200.0]
+        assert store.disk.used_mb == pytest.approx(2.0)
+
+    def test_generations_must_be_positive(self):
+        with pytest.raises(SimulationError):
+            CheckpointStore(Disk(10.0), generations=0)
+
+    def test_verify_detects_corruption(self):
+        image = self.image()
+        assert image.verify()
+        image.corrupt()
+        assert not image.verify()
+        image.corrupt()      # XOR flip is its own inverse
+        assert image.verify()
+
+    def test_fetch_verified_falls_back_a_generation(self):
+        store = CheckpointStore(Disk(10.0), generations=2)
+        store.store(self.image(progress=100.0, size=1.0, seq=1))
+        store.store(self.image(progress=200.0, size=1.0, seq=2))
+        store.corrupt("j1", newest=1)
+        image, discarded = store.fetch_verified("j1")
+        assert image.cpu_progress == 100.0
+        assert discarded == 1
+        assert store.corrupt_discarded == 1
+        # The corrupt generation's space was released.
+        assert store.disk.used_mb == pytest.approx(1.0)
+
+    def test_fetch_verified_exhausts_to_none(self):
+        store = CheckpointStore(Disk(10.0), generations=2)
+        store.store(self.image(progress=100.0, size=1.0, seq=1))
+        store.store(self.image(progress=200.0, size=1.0, seq=2))
+        poisoned = store.corrupt("j1", newest=2)
+        assert poisoned == [("j1", 200.0), ("j1", 100.0)]
+        image, discarded = store.fetch_verified("j1")
+        assert image is None
+        assert discarded == 2
+        assert store.disk.used_mb == pytest.approx(0.0)
+
+    def test_fetch_verified_clean_store_discards_nothing(self):
+        store = self.make_store()
+        stored = self.image()
+        store.store(stored)
+        image, discarded = store.fetch_verified("j1")
+        assert image is stored
+        assert discarded == 0
+
+    def test_torn_write_keeps_previous_generation(self):
+        from repro.remote_unix import CheckpointTornWrite
+
+        store = self.make_store()
+        store.store(self.image(progress=100.0, seq=1))
+        store.arm_torn_writes(1)
+        with pytest.raises(CheckpointTornWrite):
+            store.store(self.image(progress=200.0, seq=2))
+        assert store.torn_writes == 1
+        assert store.fetch("j1").cpu_progress == 100.0
+        # The torn image's transient allocation was released.
+        assert store.disk.used_mb == pytest.approx(0.5)
+        # The next write succeeds (the arm was consumed).
+        store.store(self.image(progress=300.0, seq=3))
+        assert store.fetch("j1").cpu_progress == 300.0
+
+    def test_disarm_torn_writes(self):
+        store = self.make_store()
+        store.arm_torn_writes(5)
+        store.disarm_torn_writes()
+        store.store(self.image())
+        assert store.torn_writes == 0
 
 
 class TestShadow:
