@@ -155,6 +155,54 @@ def bench_mini_month(days=2, seed=42):
     }
 
 
+def bench_sharded(days=8, seed=11, shards=4):
+    """Space-parallel kernel: serial reference vs K shard processes.
+
+    Runs the 8-day cell profile once in-process and once across
+    ``shards`` conservative-window workers, verifies the merged traces
+    are byte-identical (this doubles as a correctness smoke), and
+    records honest wall-clock numbers plus the machine's core count.
+    ``speedup_if_parallel`` is present only when the machine has at
+    least ``shards`` cores — on fewer cores the workers time-slice one
+    CPU and the windowed barrier overhead dominates, so a speedup gate
+    would measure the container, not the code.
+    """
+    import os
+
+    from repro.analysis.shardrun import (
+        ShardProfile,
+        run_reference,
+        run_sharded,
+    )
+
+    spec = dict(seed=seed, days=float(days), stations=8, cells=4)
+    t0 = time.perf_counter()
+    reference = run_reference(ShardProfile(**spec))
+    serial_wall = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    sharded = run_sharded(ShardProfile(**spec), shards=shards)
+    sharded_wall = time.perf_counter() - t0
+    if sharded["trace"] != reference["trace"]:
+        raise AssertionError(
+            f"{shards}-shard trace diverged from the serial reference")
+    cores = os.cpu_count() or 1
+    result = {
+        "days": days,
+        "shards": shards,
+        "cores": cores,
+        "serial_wall_seconds": round(serial_wall, 4),
+        "sharded_wall_seconds": round(sharded_wall, 4),
+        "speedup": round(serial_wall / sharded_wall, 3),
+        "events": sharded["events"],
+        "windows": sharded["windows"],
+        "descriptors_routed": sharded["descriptors_routed"],
+        "trace_identical": True,
+    }
+    if cores >= shards:
+        result["speedup_if_parallel"] = result["speedup"]
+    return result
+
+
 def bench_coordinator_scale(stations, mode="delta", days=2, rounds=1):
     """One scaled-cluster run; throughput in station-cycles/second.
 
@@ -208,7 +256,23 @@ def measure_kernel():
         "telemetry_emit_eps": round(bench_telemetry_emit(), 1),
         "checkpoint_store_ops": round(bench_checkpoint_store(), 1),
         "mini_month": bench_mini_month(),
+        "sharded": bench_sharded(),
     })
+
+
+#: The N=5000 delta row as measured before the anti-entropy rotation and
+#: batched poll fan-out (the "superlinear droop" the ROADMAP names:
+#: full-cluster anti-entropy bursts every 15th cycle were ~53% of all
+#: agenda events).  Kept verbatim so the artifact records what the fix
+#: is being compared against.
+PRE_PR6_N5000_DELTA = {
+    "cycles": 1439,
+    "events": 1705827,
+    "mode": "delta",
+    "station_cycles_per_sec": 276152.8,
+    "stations": 5000,
+    "wall_seconds": 26.0544,
+}
 
 
 def measure_coordinator(full=False):
@@ -217,14 +281,21 @@ def measure_coordinator(full=False):
         "n1000": bench_coordinator_scale(1000, rounds=2),
     }
     if full:
-        # The pre-change build: full polling every cycle.  Checked into
-        # the baseline JSON so the artifact itself records what the
-        # delta protocol is being compared against.
+        # The pre-change builds: full polling every cycle (still
+        # runnable, measured live) and the pre-rotation N=5000 delta row
+        # (recorded snapshot).  Checked into the baseline JSON so the
+        # artifact itself records what each change is compared against.
         poll = bench_coordinator_scale(1000, mode="poll")
-        results["pre_pr_baseline"] = {"n1000_poll": poll}
+        results["pre_pr_baseline"] = {
+            "n1000_poll": poll,
+            "n5000_delta": dict(PRE_PR6_N5000_DELTA),
+        }
         results["n5000"] = bench_coordinator_scale(5000)
         results["speedup_n1000"] = round(
             poll["wall_seconds"] / results["n1000"]["wall_seconds"], 2)
+        results["speedup_n5000"] = round(
+            PRE_PR6_N5000_DELTA["wall_seconds"]
+            / results["n5000"]["wall_seconds"], 2)
     return _with_rss(results)
 
 
@@ -238,6 +309,9 @@ GATED = {
         ("telemetry_emit_eps",),
         ("checkpoint_store_ops",),
         ("mini_month", "events_per_sec"),
+        # Present only on machines with >= `shards` cores (see
+        # bench_sharded); skipped on either side otherwise.
+        ("sharded", "speedup_if_parallel"),
     ),
     "coordinator": (
         ("n100", "station_cycles_per_sec"),
@@ -269,9 +343,11 @@ def check(results, baseline, tolerance, suite="kernel"):
         name = ".".join(path)
         try:
             base = _lookup(baseline, path)
+            got = _lookup(results, path)
         except KeyError:
+            # Conditional metrics (e.g. sharded speedup on a box with
+            # too few cores) simply don't gate when absent.
             continue
-        got = _lookup(results, path)
         floor = base * (1.0 - tolerance)
         status = "ok" if got >= floor else "REGRESSION"
         print(f"  {name:30s} {got:>12,.0f} ev/s  "

@@ -40,7 +40,53 @@ ABLATIONS = {
 }
 
 
+def _shard_profile(args, scenario=None):
+    from repro.analysis.shardrun import ShardProfile
+
+    return ShardProfile(seed=args.seed, days=args.days,
+                        stations=args.stations, cells=args.cells,
+                        scenario=scenario)
+
+
+def _cmd_month_sharded(args):
+    import json as _json
+
+    from repro.analysis.shardrun import run_sharded
+    from repro.telemetry import summarize_trace
+
+    start = time.time()
+    result = run_sharded(_shard_profile(args), shards=args.shards)
+    elapsed = time.time() - start
+    if args.trace:
+        with open(args.trace, "w", encoding="utf-8", newline="\n") as fh:
+            for line in result["trace"]:
+                fh.write(line)
+                fh.write("\n")
+        print(f"# recorded {result['events']:,} telemetry events "
+              f"to {args.trace}")
+    print(f"# simulated {args.days} days on {args.shards} shard(s) in "
+          f"{elapsed:.1f} s ({result['windows']:,} sync windows, "
+          f"{result['descriptors_routed']:,} cross-shard descriptors)\n")
+    head = summarize_trace(
+        _json.loads(line) for line in result["trace"]).headline()
+    print(render_table(
+        ["metric", "value"],
+        [
+            ("jobs submitted", head["jobs_submitted"]),
+            ("jobs completed", head["jobs_completed"]),
+            ("checkpoints taken", head["checkpoints"]),
+            ("hours consumed by Condor", f"{head['remote_hours']:.1f}"),
+            ("hours of owner activity", f"{head['local_hours']:.1f}"),
+        ],
+        title=f"Space-parallel run: {args.stations} stations, "
+              f"{args.cells} cells, {args.shards} shards",
+    ))
+    return 0
+
+
 def _cmd_month(args):
+    if args.shards:
+        return _cmd_month_sharded(args)
     start = time.time()
     run = run_month(seed=args.seed, days=args.days, job_scale=args.scale,
                     trace_path=args.trace)
@@ -148,6 +194,25 @@ def _parse_seeds(text):
     return [int(part) for part in text.split(",") if part]
 
 
+def _sweep_sharded(args, seeds):
+    """One sharded run per seed; shard workers are the parallelism."""
+    from repro.analysis.shardrun import run_sharded
+
+    results = []
+    for seed in seeds:
+        sub = argparse.Namespace(**vars(args))
+        sub.seed = seed
+        result = run_sharded(_shard_profile(sub), shards=args.shards)
+        results.append((seed, {
+            "jobs_submitted": result["jobs_submitted"],
+            "jobs_completed": result["jobs_completed"],
+            "events": result["events"],
+            "windows": result["windows"],
+            "descriptors": result["descriptors_routed"],
+        }))
+    return results
+
+
 def _cmd_sweep(args):
     import json as _json
     import os
@@ -158,13 +223,18 @@ def _cmd_sweep(args):
     if args.trace_dir:
         os.makedirs(args.trace_dir, exist_ok=True)
     start = time.time()
-    results = sweep_seeds(
-        seeds, jobs=args.jobs, days=args.days, job_scale=args.scale,
-        stations=args.stations, trace_dir=args.trace_dir,
-    )
+    if args.shards:
+        results = _sweep_sharded(args, seeds)
+        workers = f"{args.shards} shard(s)"
+    else:
+        results = sweep_seeds(
+            seeds, jobs=args.jobs, days=args.days, job_scale=args.scale,
+            stations=args.stations, trace_dir=args.trace_dir,
+        )
+        workers = f"{args.jobs or 1} worker(s)"
     elapsed = time.time() - start
     print(f"# {len(seeds)} seeds x {args.days} days on "
-          f"{args.jobs or 1} worker(s): {elapsed:.1f} s\n")
+          f"{workers}: {elapsed:.1f} s\n")
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:
             _json.dump(
@@ -187,7 +257,65 @@ def _cmd_sweep(args):
     return 0
 
 
+def _cmd_chaos_sharded(args):
+    """Sharded chaos: serial reference vs K-shard merged trace must be
+    byte-identical; ``--replay-check`` additionally reruns the sharded
+    configuration and compares the two merged traces."""
+    from repro.analysis.shardrun import (
+        SHARD_SCENARIOS,
+        run_reference,
+        run_sharded,
+    )
+    from repro.sim import SimulationError
+
+    names = args.schedules or sorted(SHARD_SCENARIOS)
+    unknown = [name for name in names if name not in SHARD_SCENARIOS]
+    if unknown:
+        known = ", ".join(sorted(SHARD_SCENARIOS))
+        print(f"unknown shard scenario(s) {unknown} (known: {known})",
+              file=sys.stderr)
+        return 2
+    start = time.time()
+    rows = []
+    failures = 0
+    for name in names:
+        spec = _shard_profile(args, scenario=name)
+        try:
+            reference = run_reference(spec)
+            sharded = run_sharded(spec, shards=args.shards)
+            matches = reference["trace"] == sharded["trace"]
+            replay = None
+            if args.replay_check:
+                replay = (run_sharded(spec, shards=args.shards)["trace"]
+                          == sharded["trace"])
+        except SimulationError as exc:
+            failures += 1
+            print(f"FAIL {name}: {exc}", file=sys.stderr)
+            continue
+        if matches is False or replay is False:
+            failures += 1
+        rows.append((
+            name,
+            f"{sharded['jobs_completed']}/{sharded['jobs_submitted']}",
+            sharded["windows"], sharded["descriptors_routed"],
+            {True: "yes", False: "NO"}[matches],
+            {True: "yes", False: "NO", None: "-"}[replay],
+        ))
+    print(f"# {len(names)} scenario(s), seed {args.seed}, "
+          f"{args.shards} shards: {time.time() - start:.1f} s\n")
+    print(render_table(
+        ["scenario", "completed", "windows", "descriptors", "serial==",
+         "replay=="],
+        rows,
+        title="Sharded chaos: serial and space-parallel traces "
+              "byte-identical",
+    ))
+    return 1 if failures else 0
+
+
 def _cmd_chaos(args):
+    if args.shards:
+        return _cmd_chaos_sharded(args)
     from repro.analysis.chaos import (
         SCHEDULES,
         SUITES,
@@ -310,6 +438,13 @@ def build_parser():
                        help="also export every exhibit as CSV files")
     month.add_argument("--trace", metavar="FILE",
                        help="record the telemetry event stream as JSONL")
+    month.add_argument("--shards", type=int, default=0, metavar="K",
+                       help="run the space-parallel cell profile across "
+                            "K shard processes (see DESIGN.md)")
+    month.add_argument("--stations", type=int, default=8,
+                       help="stations in the sharded profile")
+    month.add_argument("--cells", type=int, default=4,
+                       help="placement cells in the sharded profile")
     month.set_defaults(fn=_cmd_month)
 
     ablation = sub.add_parser("ablation",
@@ -356,6 +491,11 @@ def build_parser():
                        help="also record one telemetry trace per seed")
     sweep.add_argument("--json", metavar="FILE",
                        help="write per-seed metrics as JSON")
+    sweep.add_argument("--shards", type=int, default=0, metavar="K",
+                       help="sweep the space-parallel cell profile, "
+                            "K shard processes per run")
+    sweep.add_argument("--cells", type=int, default=4,
+                       help="placement cells (sharded runs only)")
     sweep.set_defaults(fn=_cmd_sweep)
 
     from repro.analysis.chaos import SCHEDULES as _CHAOS_SCHEDULES
@@ -376,6 +516,15 @@ def build_parser():
                             "byte-for-byte")
     chaos.add_argument("--trace-dir", metavar="DIR",
                        help="write one canonical JSONL trace per schedule")
+    chaos.add_argument("--shards", type=int, default=0, metavar="K",
+                       help="run shard scenarios across K processes and "
+                            "compare against the serial reference")
+    chaos.add_argument("--days", type=float, default=1.0,
+                       help="horizon for sharded scenarios")
+    chaos.add_argument("--stations", type=int, default=8,
+                       help="stations (sharded scenarios only)")
+    chaos.add_argument("--cells", type=int, default=4,
+                       help="placement cells (sharded scenarios only)")
     chaos.set_defaults(fn=_cmd_chaos)
 
     demo = sub.add_parser("demo", help="narrated five-station demo")

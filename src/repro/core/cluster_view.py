@@ -40,13 +40,16 @@ class ClusterView:
     """Last-known station states plus incrementally derived allocation sets."""
 
     __slots__ = ("names", "order", "states", "seqs", "quarantined",
-                 "wanting", "held_counts", "hosting", "_idle")
+                 "wanting", "held_counts", "hosting", "_idle", "_unknown")
 
     def __init__(self, station_names):
         if not station_names:
             raise SimulationError("ClusterView needs at least one station")
         self.names = list(station_names)
         self.order = {name: i for i, name in enumerate(self.names)}
+        #: Stations never heard from, maintained incrementally so the
+        #: per-cycle probe pass never scans all N names.
+        self._unknown = set(self.names)
         #: name -> last applied state dict (absent until first heard from).
         self.states = {}
         #: name -> seq of the last applied update/reply.
@@ -72,7 +75,7 @@ class ClusterView:
 
     def unknown_stations(self):
         """Stations never heard from (probed every cycle until they are)."""
-        return [n for n in self.names if n not in self.states]
+        return sorted(self._unknown, key=self.order.__getitem__)
 
     def idle_hosts(self):
         """Grantable stations, in station-registration order."""
@@ -111,6 +114,7 @@ class ClusterView:
                  and seq <= prev_seq)
         if not stale:
             self.states[name] = state
+            self._unknown.discard(name)
             if seq is not None:
                 self.seqs[name] = seq
         self._refresh(name, old, self._effective(name))
@@ -127,6 +131,7 @@ class ClusterView:
     def reset(self):
         """Forget everything (a recovered coordinator resyncs from zero)."""
         self.states.clear()
+        self._unknown = set(self.names)
         self.seqs.clear()
         self.quarantined.clear()
         self.wanting.clear()

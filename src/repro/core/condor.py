@@ -23,6 +23,20 @@ from repro.net import Network
 from repro.sim.errors import SimulationError
 
 
+def placement_cells(names, n_cells):
+    """Map station names to cell ids: station i of N lives in cell
+    ``i * C // N`` (contiguous, near-equal blocks in registration order —
+    the same arithmetic the shard runtime uses to assign cells to
+    shards, so a cell never straddles a shard)."""
+    if n_cells < 1:
+        raise SimulationError("placement_cells must be >= 1")
+    if n_cells > len(names):
+        raise SimulationError(
+            f"{n_cells} cells for {len(names)} stations")
+    total = len(names)
+    return {name: (i * n_cells) // total for i, name in enumerate(names)}
+
+
 class StationSpec:
     """Declarative description of one workstation in the cluster."""
 
@@ -79,12 +93,18 @@ class CondorSystem:
         host_name = coordinator_host or names[0]
         if host_name not in self.stations:
             raise SimulationError(f"unknown coordinator host {host_name!r}")
-        #: Advance capacity reservations (future work §5(3)).
-        self.reservations = ReservationBook(sim)
+        cells = None
+        if self.config.placement_cells is not None:
+            cells = placement_cells(names, self.config.placement_cells)
+        #: Advance capacity reservations (future work §5(3)); unavailable
+        #: when placement cells constrain the topology.
+        self.reservations = (None if cells is not None
+                             else ReservationBook(sim))
         self.coordinator = Coordinator(
             sim, self.network, names, self.policy, self.bus, self.config,
             host_station=self.stations[host_name],
             reservations=self.reservations,
+            cells=cells,
         )
         #: All jobs ever submitted through this system, in order.
         self.jobs = []

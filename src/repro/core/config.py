@@ -93,6 +93,13 @@ class CondorConfig:
     #: back past a corrupted newest image at the cost of extra disk (§4's
     #: disk-pressure bound tightens accordingly).
     checkpoint_generations: int = 1
+    #: Number of placement cells (``None`` = unconstrained, the classic
+    #: behaviour).  With C cells, station i of N lives in cell
+    #: ``i*C//N`` and all grants/gangs/preemptions stay inside the
+    #: requester's cell — the topology constraint that lets the
+    #: space-parallel runtime shard job bodies cleanly (coordinator
+    #: control traffic still spans cells).
+    placement_cells: int = None
 
     def __post_init__(self):
         if self.poll_interval <= 0 or self.grace_period < 0:
@@ -135,3 +142,5 @@ class CondorConfig:
             raise SimulationError("retry limits must be >= 1")
         if self.checkpoint_generations < 1:
             raise SimulationError("checkpoint_generations must be >= 1")
+        if self.placement_cells is not None and self.placement_cells < 1:
+            raise SimulationError("placement_cells must be >= 1")

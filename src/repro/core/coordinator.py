@@ -28,6 +28,7 @@ but affects nothing already running, and it can be restarted anywhere.
 """
 
 import time as _wallclock
+from functools import partial
 
 from repro.core import events as ev
 from repro.core.cluster_view import ClusterView
@@ -88,7 +89,7 @@ class Coordinator(Node):
     """Capacity allocator for the whole cluster."""
 
     def __init__(self, sim, net, station_names, policy, bus, config,
-                 host_station=None, reservations=None):
+                 host_station=None, reservations=None, cells=None):
         super().__init__("coordinator")
         if not station_names:
             raise SimulationError("coordinator needs at least one station")
@@ -98,6 +99,11 @@ class Coordinator(Node):
         self.policy = policy
         self.bus = bus
         self.config = config
+        #: Optional placement-cell map (station -> cell id).  When set,
+        #: every grant, gang and preemption stays inside the requester's
+        #: cell — the invariant that keeps job bodies (and their bulk
+        #: transfers) on one shard in space-parallel runs.
+        self.cells = dict(cells) if cells is not None else None
         #: Station whose CPU pays the coordinator's overhead (may be None
         #: in unit tests).
         self.host_station = host_station
@@ -119,6 +125,15 @@ class Coordinator(Node):
         #: Materialized cluster state for the delta protocol.
         self.view = ClusterView(self.station_names)
         self._cycle_index = 0
+        #: Rotating anti-entropy position: each delta cycle sweeps the
+        #: next ``ceil(N / anti_entropy_interval)`` stations, so every
+        #: station is still probed once per interval but the cost is
+        #: spread evenly instead of one O(N) burst every Nth cycle.
+        self._ae_cursor = 0
+        #: name -> cycle index of the last applied observation.  A
+        #: station heard from within the current interval is provably in
+        #: sync (seq-gated), so its anti-entropy probe is skipped.
+        self._last_heard_cycle = {}
         #: Work units (updates absorbed + probes sent) since the last
         #: overhead charge — what a delta-mode cycle actually cost.
         self._work_units = 0
@@ -195,24 +210,30 @@ class Coordinator(Node):
         """
         replies = {}
         done = Signal(name="poll-cycle")
-        remaining = len(targets)
+        pending = [len(targets)]
 
-        def on_reply(name):
-            def settle(outcome):
-                nonlocal remaining
-                status, payload = outcome
-                if status == "ok":
-                    replies[name] = payload
-                remaining -= 1
-                if remaining == 0 and not done.fired:
-                    done.fire(None)
-            return settle
+        def settle(name, outcome):
+            status, payload = outcome
+            if status == "ok":
+                replies[name] = payload
+            pending[0] -= 1
+            if pending[0] == 0 and not done.fired:
+                done.fire(None)
 
-        tickets = []
-        for name in targets:
-            tickets.append(self.net.rpc(name, "poll", None, timeout=None,
-                                        callback=on_reply(name),
-                                        src=self.name))
+        src = self.name
+        if self.net.latency_jitter or self.net.locus_routing:
+            # Per-target RPCs: jitter makes settle order latency-dependent
+            # and locus routing needs one delivery event per station
+            # (rpc_batch's single fan-out event has no single locus).
+            rpc = self.net.rpc
+            tickets = [
+                rpc(name, "poll", None, timeout=None,
+                    callback=partial(settle, name), src=src)
+                for name in targets
+            ]
+        else:
+            tickets = [self.net.rpc_batch(targets, "poll", None,
+                                          callback=settle, src=src)]
         deadline = self.sim.schedule(self.config.rpc_timeout, done.fire, None)
         yield done
         deadline.cancel()
@@ -279,25 +300,38 @@ class Coordinator(Node):
         Quiet cycles cost two latency hops (so allocation happens at the
         same instant a full poll's would) and zero messages.  Cycles with
         active placements probe just those hosts; never-heard-from and
-        quarantined stations are probed until they answer; and every
-        ``anti_entropy_interval``-th cycle polls everything.
+        quarantined stations are probed until they answer.  Anti-entropy
+        is a *rotating* sweep: each cycle probes the next
+        ``ceil(N / anti_entropy_interval)`` stations in registration
+        order, so every station is still checked once per interval but
+        the cost is even per cycle instead of an O(N) burst — the burst
+        is what made the N=5000 run superlinear.  A sweep slot whose
+        station was heard from (applied push or reply) within the
+        current interval is skipped: the seq gate already proves that
+        station in sync, so the probe could repair nothing.
         """
         self._cycle_index += 1
-        anti_entropy = (
-            self._cycle_index % self.config.anti_entropy_interval == 0)
-        if anti_entropy:
-            targets = self.station_names
+        interval = self.config.anti_entropy_interval
+        order = self.view.order
+        must_probe = set(self._hosting_map)
+        must_probe.update(self.view.quarantined)
+        must_probe.update(self.view.unknown_stations())
+        targets = sorted(must_probe, key=order.__getitem__)
+        names = self.station_names
+        chunk = -(-len(names) // interval)
+        cursor = self._ae_cursor
+        last_heard = self._last_heard_cycle
+        fresh_after = self._cycle_index - interval
+        for i in range(cursor, cursor + chunk):
+            name = names[i % len(names)]
+            if name in must_probe:
+                continue
+            if last_heard.get(name, -interval) > fresh_after:
+                continue
+            targets.append(name)
+        self._ae_cursor = (cursor + chunk) % len(names)
+        if self._ae_cursor < cursor:
             self.bus.metrics.counter("coordinator.anti_entropy_polls").inc()
-        else:
-            targets = []
-            seen = set()
-            for name in self.station_names:
-                if (name in self._hosting_map
-                        or name in self.view.quarantined
-                        or not self.view.known(name)):
-                    if name not in seen:
-                        seen.add(name)
-                        targets.append(name)
         if not targets:
             # No probes needed; still wait the two message hops a poll
             # round takes, so state changes already in flight settle and
@@ -312,7 +346,10 @@ class Coordinator(Node):
             return   # don't absorb observations made by a dead daemon
         for name, reply in poll.replies.items():
             self._absorb(name, reply, from_reply=True)
-        for name in poll.unreachable:
+        # Registration order, not set order: _note_unreachable sends
+        # host_lost notices, and their send order assigns per-sender loss
+        # draws — set iteration would make that hash-seed dependent.
+        for name in sorted(poll.unreachable, key=order.__getitem__):
             self._note_unreachable(name)
 
     def _handle_state_update(self, payload):
@@ -342,6 +379,7 @@ class Coordinator(Node):
             return
         self._work_units += 1
         metrics.counter("coordinator.updates_applied").inc()
+        self._last_heard_cycle[name] = self._cycle_index
         self._boot_epochs[name] = state["boot_epoch"]
         if state["hosting_home"] is not None:
             self._hosting_map[name] = state["hosting_home"]
@@ -441,16 +479,19 @@ class Coordinator(Node):
         """
         grants = []
         states = snapshot.states
-        taken = 0   # prefix of idle_hosts already handed to earlier gangs
+        cells = self.cells
+        taken = set()   # idle hosts already handed to earlier gangs
         for requester in ranked:
             state = states.get(requester)
             if not state or not state.get("pending_gangs"):
                 continue
             width = state["pending_gangs"][0]
-            if len(idle_hosts) - taken < width:
+            pool = [h for h in idle_hosts if h not in taken
+                    and (cells is None or cells[h] == cells[requester])]
+            if len(pool) < width:
                 continue
-            chosen = idle_hosts[taken:taken + width]
-            taken += width
+            chosen = pool[:width]
+            taken.update(chosen)
             hosts_payload = [
                 (h, states[h]["free_mb"], states[h]["arch"])
                 for h in chosen
@@ -475,6 +516,9 @@ class Coordinator(Node):
         counts = self.reservations.reserved_counts(self.sim.now)
         if not counts:
             return [], [], set()
+        if self.cells is not None:
+            raise SimulationError(
+                "reservations are not supported with placement cells")
         grants = []
         preemptions = []
         used = set()
@@ -542,6 +586,7 @@ class Coordinator(Node):
         budget = self.config.placements_per_cycle
         per_station = self.config.grants_per_station_per_cycle
         cap = self.config.max_machines_per_station
+        cells = self.cells
         available = set(idle_hosts)
         grants = []
         granted_to = {}
@@ -557,7 +602,15 @@ class Coordinator(Node):
                         allocated_counts.get(requester, 0)
                         + granted_to.get(requester, 0)) >= cap:
                     continue
-                host = self._select_host(snapshot, available)
+                if cells is None:
+                    candidates = available
+                else:
+                    cell = cells[requester]
+                    candidates = {    # set-order-ok (set -> set)
+                        h for h in available if cells[h] == cell}
+                    if not candidates:
+                        continue
+                host = self._select_host(snapshot, candidates)
                 available.discard(host)
                 grants.append((requester, host))
                 granted_to[requester] = granted_to.get(requester, 0) + 1
@@ -604,11 +657,13 @@ class Coordinator(Node):
         cap = self.config.max_machines_per_station
         granted = {requester for requester, _host in grants}
         used_hosts = {host for _requester, host in grants}
+        cells = self.cells
         holders = [
             (host, home) for host, home in snapshot.holders
             if host not in used_hosts
         ]
-        if set(idle_hosts) - used_hosts:
+        free_idle = set(idle_hosts) - used_hosts
+        if cells is None and free_idle:
             # Machines are still idle (the placement throttle held them
             # back this cycle); evicting anyone would be gratuitous.
             return []
@@ -631,8 +686,19 @@ class Coordinator(Node):
                 continue
             if cap is not None and allocated_counts.get(requester, 0) >= cap:
                 continue
+            if cells is None:
+                pool = holders
+            else:
+                # The idle-machines guard and the victim pool both narrow
+                # to the requester's cell: idle capacity elsewhere cannot
+                # serve it, and neither can a victim it may not use.
+                cell = cells[requester]
+                if any(cells[h] == cell
+                       for h in free_idle):   # set-order-ok (predicate)
+                    continue
+                pool = [(h, o) for h, o in holders if cells[h] == cell]
             victim_host = self.policy.choose_preemption_victim(
-                requester, holders
+                requester, pool
             )
             if victim_host is None:
                 continue
@@ -683,6 +749,8 @@ class Coordinator(Node):
         self.host_station = station
         self.crashed = False
         self.view.reset()
+        self._ae_cursor = 0
+        self._last_heard_cycle.clear()
 
     def __repr__(self):
         return (

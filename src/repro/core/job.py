@@ -73,7 +73,8 @@ class Job:
     """
 
     def __init__(self, user, home, demand_seconds, layout=None,
-                 syscall_rate=0.5, name=None, architectures=("vax",)):
+                 syscall_rate=0.5, name=None, architectures=("vax",),
+                 id=None):
         if demand_seconds <= 0:
             raise SimulationError(
                 f"job demand must be > 0 seconds, got {demand_seconds}"
@@ -84,7 +85,9 @@ class Job:
             raise SimulationError("layout must be a SegmentLayout")
         if not architectures:
             raise SimulationError("job needs at least one architecture")
-        self.id = next(_job_ids)
+        # An explicit id bypasses the process-global counter — sharded
+        # runs assign ids per user so every process agrees on them.
+        self.id = next(_job_ids) if id is None else id
         self.name = name or f"job-{self.id}"
         self.user = user
         self.home = home

@@ -3,6 +3,7 @@
 from repro.net.network import (
     DEFAULT_BANDWIDTH_MB_S,
     DEFAULT_LATENCY,
+    BatchTicket,
     BulkTransfer,
     Network,
     Node,
@@ -11,6 +12,6 @@ from repro.net.network import (
 from repro.net.reliable import ReliableSender
 
 __all__ = [
-    "Network", "Node", "BulkTransfer", "RpcTicket", "ReliableSender",
-    "DEFAULT_LATENCY", "DEFAULT_BANDWIDTH_MB_S",
+    "Network", "Node", "BulkTransfer", "RpcTicket", "BatchTicket",
+    "ReliableSender", "DEFAULT_LATENCY", "DEFAULT_BANDWIDTH_MB_S",
 ]

@@ -1,0 +1,219 @@
+"""Shard-boundary routing for space-parallel runs.
+
+:class:`ShardNetwork` extends :class:`~repro.net.network.Network` with
+an ownership map (endpoint name -> shard rank).  Traffic between two
+endpoints on the same rank takes the ordinary in-process path; traffic
+that crosses a shard boundary is turned into a picklable *descriptor*
+appended to :attr:`outbox`, shipped to the owning shard by the conductor
+at the next window barrier, and injected into that shard's agenda with
+:meth:`~repro.sim.kernel.Simulation.inject`.
+
+Determinism hinges on two rules:
+
+* the **sender** computes the event's locus key with
+  :meth:`~repro.sim.kernel.Simulation.next_locus_key` — its per-locus
+  seq counter advances exactly as it would have for a local delivery,
+  and the receiving shard injects the key verbatim, so the merged
+  dispatch order equals the serial one;
+* every loss draw happens on the stream that owns it in the serial run:
+  request losses on the *sender's* per-sender substream, reply losses on
+  the *responder's* — which is why a lossy ShardNetwork requires
+  ``loss_mode="per_sender"`` (per-sender substreams are forked by name,
+  so each shard reproduces exactly the draws of the endpoints it owns).
+
+A message whose loss draw eats it is *not* shipped: the serial run's
+delivery event for it is a no-op, so skipping it changes nothing
+observable while keeping the barrier payload small.
+
+Failure semantics carry over unchanged: partitions are applied on every
+shard (the cut is network-wide state), crash flags are checked on the
+owning shard at delivery time, and bulk transfers — which hold NIC
+reservations on both endpoints — must stay shard-local; the placement
+cells enforced by the coordinator guarantee that, and a cross-shard
+``transfer()`` raises loudly rather than silently desynchronising.
+"""
+
+from repro.net.network import Network, RpcTicket
+from repro.sim.errors import SimulationError
+
+
+class ShardNetwork(Network):
+    """A Network that routes cross-shard traffic through descriptors."""
+
+    def __init__(self, sim, rank, owners, **kwargs):
+        if kwargs.get("latency_jitter"):
+            raise SimulationError(
+                "ShardNetwork needs jitter-free latency (window sizing "
+                "derives from the fixed minimum one-way delay)")
+        if kwargs.get("loss_stream") is not None:
+            if kwargs.get("loss_mode", "shared") != "per_sender":
+                raise SimulationError(
+                    "a lossy ShardNetwork requires loss_mode='per_sender' "
+                    "(a shared stream's draw order depends on global "
+                    "traffic order, which no single shard sees)")
+        super().__init__(sim, **kwargs)
+        #: This shard's rank.
+        self.rank = int(rank)
+        #: Endpoint name -> owning rank, identical on every shard.
+        self.owners = dict(owners)
+        #: Descriptors awaiting the next barrier flush.
+        self.outbox = []
+        #: Ticket id -> settle callback for RPCs awaiting a remote reply.
+        self._pending_remote = {}
+        self._next_tid = 0
+
+    # ------------------------------------------------------------------
+    # helpers
+
+    def _remote_rank(self, name):
+        """The owning rank if ``name`` lives on another shard, else None."""
+        rank = self.owners.get(name)
+        if rank is None or rank == self.rank:
+            return None
+        return rank
+
+    def _require_loci(self):
+        if self._loci is None:
+            raise SimulationError(
+                "ShardNetwork needs set_loci() before cross-shard traffic")
+        return self._loci
+
+    def drain_outbox(self):
+        """Hand the accumulated descriptors to the conductor (barrier)."""
+        out = self.outbox
+        self.outbox = []
+        return out
+
+    def knows(self, name):
+        """Every owned name is addressable, local or not — a local
+        scheduler must push ``state_update`` to a coordinator that lives
+        on rank 0 even from another shard."""
+        return name in self._nodes or name in self.owners
+
+    # ------------------------------------------------------------------
+    # outbound (sender side)
+
+    def message(self, dst_name, op, payload=None, src=None):
+        rank = self._remote_rank(dst_name)
+        if rank is None:
+            return super().message(dst_name, op, payload, src=src)
+        loci = self._require_loci()
+        self.messages_sent += 1
+        if not self._reachable(src, dst_name):
+            self.messages_dropped += 1
+            return
+        if self._lost_from(src):
+            self.messages_dropped += 1
+            return
+        key = self.sim.next_locus_key(loci[dst_name])
+        self.outbox.append(("msg", rank, self.sim.now + self.latency,
+                            key, dst_name, op, payload))
+
+    def rpc(self, dst_name, op, payload=None, timeout=1.0, callback=None,
+            src=None):
+        rank = self._remote_rank(dst_name)
+        if rank is None:
+            return super().rpc(dst_name, op, payload, timeout=timeout,
+                               callback=callback, src=src)
+        loci = self._require_loci()
+        if callback is None:
+            from repro.sim import Signal
+            result = Signal(name=f"rpc:{dst_name}:{op}")
+            settle_cb = result.fire
+        else:
+            result = None
+            settle_cb = callback
+        ticket = None
+        if callback is not None and timeout is None:
+            ticket = RpcTicket(self, dst_name, op, self.sim.now)
+            self._outstanding[ticket] = True
+        settled = False
+        timeout_handle = None
+
+        def settle(outcome):
+            nonlocal settled
+            if not settled:
+                settled = True
+                if timeout_handle is not None:
+                    timeout_handle.cancel()
+                if ticket is not None:
+                    ticket._settle()
+                settle_cb(outcome)
+
+        self.messages_sent += 1
+        request_lost = (not self._reachable(src, dst_name)
+                        or self._lost_from(src))
+        if request_lost:
+            self.messages_dropped += 1
+        # The sender's locus-seq draw happens regardless of loss (serial
+        # behaviour: the delivery event is scheduled, then no-ops).
+        key = self.sim.next_locus_key(loci[dst_name])
+        if not request_lost:
+            tid = (self.rank, self._next_tid)
+            self._next_tid += 1
+            self._pending_remote[tid] = settle
+            self.outbox.append(("req", rank, self.sim.now + self.latency,
+                                key, dst_name, op, payload, src, tid))
+        if timeout is not None:
+            timeout_handle = self.sim.schedule(timeout, settle,
+                                               ("timeout", None))
+        return result if callback is None else ticket
+
+    def transfer(self, src_name, dst_name, size_mb):
+        for name in (src_name, dst_name):
+            rank = self._remote_rank(name)
+            if rank is not None:
+                raise SimulationError(
+                    f"bulk transfer {src_name}->{dst_name} crosses a shard "
+                    f"boundary ({name} lives on shard {rank}); placement "
+                    f"cells must keep job bodies shard-local")
+        return super().transfer(src_name, dst_name, size_mb)
+
+    # ------------------------------------------------------------------
+    # inbound (owning-shard side)
+
+    def deliver_remote(self, desc):
+        """Inject one descriptor received at a barrier into the agenda."""
+        kind = desc[0]
+        if kind == "msg":
+            _kind, _rank, arrival, key, dst_name, op, payload = desc
+            self.sim.inject(arrival, key, self._remote_message,
+                            dst_name, op, payload)
+        elif kind == "req":
+            (_kind, _rank, arrival, key, dst_name, op, payload,
+             src, tid) = desc
+            self.sim.inject(arrival, key, self._remote_request,
+                            dst_name, op, payload, src, tid)
+        elif kind == "rep":
+            _kind, _rank, arrival, key, tid, response = desc
+            self.sim.inject(arrival, key, self._remote_reply, tid, response)
+        else:
+            raise SimulationError(f"unknown shard descriptor {kind!r}")
+
+    def _remote_message(self, dst_name, op, payload):
+        dst = self._nodes[dst_name]
+        if not dst.crashed:
+            dst.handle(op, payload)
+
+    def _remote_request(self, dst_name, op, payload, src, tid):
+        dst = self._nodes[dst_name]
+        if dst.crashed:
+            return
+        response = dst.handle(op, payload)
+        self.messages_sent += 1
+        if not self._reachable(dst_name, src) or self._lost_from(dst_name):
+            self.messages_dropped += 1
+            return
+        key = self.sim.next_locus_key(self._require_loci()[src])
+        self.outbox.append(("rep", self.owners[src],
+                            self.sim.now + self.latency, key, tid, response))
+
+    def _remote_reply(self, tid, response):
+        settle = self._pending_remote.pop(tid, None)
+        if settle is not None:
+            settle(("ok", response))
+
+    def __repr__(self):
+        return (f"<ShardNetwork rank={self.rank} nodes={len(self._nodes)} "
+                f"outbox={len(self.outbox)} "
+                f"pending={len(self._pending_remote)}>")

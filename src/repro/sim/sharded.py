@@ -1,0 +1,172 @@
+"""Conservative space-parallel execution: the shard conductor.
+
+A sharded run partitions the cluster's event loci across K worker
+processes, each owning one :class:`~repro.sim.kernel.Simulation` agenda
+in locus mode.  The conductor advances them in lock-step *windows*: with
+``L`` the network's (fixed, minimum) one-way latency, any message issued
+at time ``t`` arrives at ``t + L``, so if every worker's earliest
+pending work is at ``gmin``, all of them can safely dispatch everything
+strictly before ``gmin + L`` without hearing from each other — nothing
+another shard does in that window can influence it.  No rollback is
+ever needed (classic conservative synchronisation, windowed).
+
+Protocol (conductor <-> worker, over a spawn Pipe):
+
+* worker starts, builds its shard, sends ``("ready", next_time)``;
+* each round the conductor routes the previous round's descriptors,
+  computes ``gmin`` as the min over reported next-event times *and* the
+  arrival times of descriptors being handed over (an arrival can precede
+  every locally-scheduled event), and broadcasts
+  ``("window", gmin + L, descriptors)``;
+* the worker injects the descriptors, runs
+  :meth:`~repro.sim.kernel.Simulation.step_window`, and answers
+  ``("done", next_time, outbox)``;
+* once ``gmin + L`` would pass the horizon the conductor sends a final
+  ``("run", horizon, descriptors)`` — *inclusive*, matching the serial
+  ``run(until=horizon)`` — after which any still-undelivered descriptor
+  would arrive strictly after the horizon, exactly as the serial run
+  would have left it undispatched;
+* ``("finalize",)`` asks the worker for its result payload (closing
+  ledgers, collecting trace lines) and ends it.
+
+Determinism is the point: the windows only batch *transport*; every
+event still dispatches under the locus-keyed order of
+:mod:`repro.sim.kernel`, so the K merged streams equal the serial one.
+"""
+
+import traceback
+
+from repro.analysis.executor import spawn_workers
+from repro.sim.errors import SimulationError
+
+
+def serve_shard(conn, sim, net, finalize):
+    """Drive one shard's kernel from conductor commands (worker side).
+
+    ``net`` must be a :class:`~repro.net.sharding.ShardNetwork`;
+    ``finalize()`` is called on the final command and its return value
+    (which must be picklable) is shipped back as the worker's result.
+    """
+    try:
+        conn.send(("ready", sim.peek()))
+        while True:
+            msg = conn.recv()
+            cmd = msg[0]
+            if cmd == "window":
+                _cmd, until, descriptors = msg
+                for descriptor in descriptors:
+                    net.deliver_remote(descriptor)
+                sim.step_window(until)
+                conn.send(("done", sim.peek(), net.drain_outbox()))
+            elif cmd == "run":
+                _cmd, until, descriptors = msg
+                for descriptor in descriptors:
+                    net.deliver_remote(descriptor)
+                sim.run(until=until)
+                conn.send(("done", sim.peek(), net.drain_outbox()))
+            elif cmd == "finalize":
+                conn.send(("result", finalize()))
+                return
+            else:
+                raise SimulationError(f"unknown shard command {cmd!r}")
+    except Exception:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:
+            pass
+
+
+class ShardedSimulation:
+    """Conductor for K lock-step shard workers.
+
+    ``worker_target(conn, *args)`` is the spawn entry point for one
+    worker (it must end up in :func:`serve_shard`); ``worker_args`` has
+    one args tuple per shard, rank order.  ``latency`` is the network's
+    fixed one-way delay — the window width.
+    """
+
+    def __init__(self, worker_target, worker_args, latency, horizon):
+        if latency <= 0:
+            raise SimulationError(
+                f"conservative windows need latency > 0, got {latency}")
+        if horizon <= 0:
+            raise SimulationError(f"bad horizon {horizon}")
+        self.latency = float(latency)
+        self.horizon = float(horizon)
+        self.workers = spawn_workers(worker_target, worker_args)
+        #: Synchronisation rounds driven (diagnostics/benchmarks).
+        self.windows = 0
+        #: Cross-shard descriptors routed (diagnostics/benchmarks).
+        self.descriptors_routed = 0
+
+    def _collect(self):
+        replies = []
+        for worker in self.workers:
+            reply = worker.recv()
+            if reply[0] == "error":
+                self._abort()
+                raise SimulationError(
+                    f"shard worker failed:\n{reply[1]}")
+            replies.append(reply)
+        return replies
+
+    def _abort(self):
+        for worker in self.workers:
+            worker.terminate()
+
+    def run(self):
+        """Drive every shard to the horizon; returns per-rank results."""
+        try:
+            return self._run()
+        except BaseException:
+            self._abort()
+            raise
+
+    def _run(self):
+        n = len(self.workers)
+        replies = self._collect()                      # the ready messages
+        next_times = [reply[1] for reply in replies]
+        pending = [[] for _ in range(n)]
+        while True:
+            gmin = None
+            for t in next_times:
+                if t is not None and (gmin is None or t < gmin):
+                    gmin = t
+            for descriptors in pending:
+                for descriptor in descriptors:
+                    arrival = descriptor[2]
+                    if gmin is None or arrival < gmin:
+                        gmin = arrival
+            if gmin is None or gmin + self.latency > self.horizon:
+                # Every remaining event (and any message it could still
+                # send) lands at or past the horizon boundary: one final
+                # inclusive run finishes the job, serial-style.
+                command = "run"
+                until = self.horizon
+            else:
+                command = "window"
+                until = gmin + self.latency
+            for worker, descriptors in zip(self.workers, pending):
+                worker.send((command, until, descriptors))
+            self.windows += 1
+            replies = self._collect()
+            next_times = [reply[1] for reply in replies]
+            pending = [[] for _ in range(n)]
+            for reply in replies:
+                for descriptor in reply[2]:
+                    pending[descriptor[1]].append(descriptor)
+                    self.descriptors_routed += 1
+            if command == "run":
+                break
+        results = []
+        for worker in self.workers:
+            worker.send(("finalize",))
+        for worker in self.workers:
+            reply = worker.recv()
+            if reply[0] == "error":
+                self._abort()
+                raise SimulationError(f"shard finalize failed:\n{reply[1]}")
+            results.append(reply[1])
+        for worker in self.workers:
+            worker.join()
+        return results

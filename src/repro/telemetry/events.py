@@ -81,7 +81,7 @@ class TelemetryHub:
         self._subscribers = {}        # kind -> [callback(event)]
         self._all_subscribers = []
         #: Events emitted so far per kind (all registered kinds present).
-        self.counts = {kind: 0 for kind in self._kinds}
+        self.counts = {kind: 0 for kind in sorted(self._kinds)}
         #: Isolated subscriber failures (bounded, see MAX_ERRORS).
         self.errors = []
         #: The run's metric instruments ride on the same spine.
@@ -90,14 +90,14 @@ class TelemetryHub:
         self._lock = threading.Lock()
         # kind -> tuple of delivery targets (targeted + catch-all),
         # rebuilt on any subscription change so emit() never copies lists.
-        self._dispatch = {kind: () for kind in self._kinds}
+        self._dispatch = {kind: () for kind in sorted(self._kinds)}
 
     def _rebuild_dispatch(self):
         """Recompute the per-kind delivery tuples (lock held by caller)."""
         catch_all = tuple(self._all_subscribers)
         self._dispatch = {
             kind: tuple(self._subscribers.get(kind, ())) + catch_all
-            for kind in self._kinds
+            for kind in sorted(self._kinds)
         }
 
     # ------------------------------------------------------------------

@@ -1,0 +1,139 @@
+"""Golden tests for the space-parallel kernel.
+
+The contract under test: for the same :class:`ShardProfile`, the merged
+canonical trace is **byte-identical** no matter how many shard processes
+executed it — including the serial in-process reference, and including
+runs with an active chaos schedule.  These are the gates that make the
+conservative-window runtime trustworthy; everything else about sharding
+is an optimisation detail.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.analysis.shardrun import (
+    SHARD_SCENARIOS,
+    ShardProfile,
+    run_reference,
+    run_sharded,
+    shard_of_cell,
+)
+from repro.sim import SimulationError
+from repro.sim.sharded import ShardedSimulation
+from repro.telemetry.trace import merge_shard_lines
+
+
+def _sha(trace_lines):
+    digest = hashlib.sha256()
+    for line in trace_lines:
+        digest.update(line.encode())
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+#: Small but non-trivial: 8 stations, 4 cells, every user shape active.
+_PROFILE = dict(seed=11, days=0.5, stations=8, cells=4)
+
+
+def test_month_trace_identical_across_shard_counts():
+    reference = run_reference(ShardProfile(**_PROFILE))
+    assert reference["trace"], "reference produced an empty trace"
+    want = _sha(reference["trace"])
+    for shards in (1, 2, 4):
+        result = run_sharded(ShardProfile(**_PROFILE), shards=shards)
+        assert _sha(result["trace"]) == want, (
+            f"{shards}-shard trace diverged from the serial reference")
+        assert result["jobs_submitted"] == reference["jobs_submitted"]
+        assert result["jobs_completed"] == reference["jobs_completed"]
+    assert result["windows"] > 0
+    assert result["descriptors_routed"] > 0
+
+
+def test_chaos_scenario_trace_identical_and_replays():
+    # Horizon just past the last fault clearance (~0.52 days).
+    spec = dict(seed=23, days=0.6, stations=8, cells=4, scenario="mix")
+    reference = run_reference(ShardProfile(**spec))
+    kinds = {line.split('"kind":"', 1)[1].split('"', 1)[0]
+             for line in reference["trace"]}
+    assert "fault_injected" in kinds, "chaos schedule never fired"
+    assert "message_retry" in kinds, "loss burst never forced a retry"
+    want = _sha(reference["trace"])
+    sharded = run_sharded(ShardProfile(**spec), shards=2)
+    assert _sha(sharded["trace"]) == want
+    replay = run_sharded(ShardProfile(**spec), shards=2)
+    assert replay["trace"] == sharded["trace"]
+
+
+def test_merged_trace_is_canonical_jsonl():
+    import json
+
+    result = run_sharded(ShardProfile(**_PROFILE), shards=2)
+    for seq, line in enumerate(result["trace"]):
+        record = json.loads(line)
+        assert record["seq"] == seq
+        assert json.dumps(record, sort_keys=True,
+                          separators=(",", ":")) == line
+
+
+def test_shard_of_cell_is_contiguous_and_total():
+    for cells in (1, 3, 4, 8):
+        for shards in range(1, cells + 1):
+            ranks = [shard_of_cell(c, cells, shards) for c in range(cells)]
+            assert ranks == sorted(ranks)
+            assert set(ranks) == set(range(shards))
+
+
+def test_more_shards_than_cells_rejected():
+    with pytest.raises(SimulationError):
+        run_sharded(ShardProfile(seed=1, days=0.1, stations=8, cells=2),
+                    shards=4)
+
+
+def test_scenario_registry_has_mix():
+    assert "mix" in SHARD_SCENARIOS
+
+
+def _failing_worker(conn, message):
+    raise RuntimeError(message)
+
+
+def _erroring_worker(conn, message):
+    import traceback
+    try:
+        raise RuntimeError(message)
+    except RuntimeError:
+        conn.send(("error", traceback.format_exc()))
+
+
+def test_conductor_surfaces_worker_errors():
+    conductor = ShardedSimulation(
+        _erroring_worker, [("boom-on-rank-0",)], latency=0.05, horizon=1.0)
+    with pytest.raises(SimulationError, match="boom-on-rank-0"):
+        conductor.run()
+
+
+def test_conductor_rejects_bad_window_parameters():
+    with pytest.raises(SimulationError):
+        ShardedSimulation(_failing_worker, [], latency=0.0, horizon=1.0)
+    with pytest.raises(SimulationError):
+        ShardedSimulation(_failing_worker, [], latency=0.05, horizon=0.0)
+
+
+def test_merge_orders_horizon_tail_by_key():
+    # Two single-line streams arriving key-unsorted within one stream:
+    # the merge must re-establish (t, locus, idx) order.
+    sep = "\x1f"
+
+    def keyed(t, locus, idx, kind):
+        head = f'{{"kind":"{kind}","payload":null'
+        tail = f'"src":"x","t":{t}}}'
+        return sep.join((repr(float(t)), str(locus), str(idx), head, tail))
+
+    stream_a = [keyed(1.0, 5, 0, "late"), keyed(1.0, 2, 0, "early")]
+    stream_b = [keyed(1.0, 3, 0, "middle")]
+    merged = merge_shard_lines([stream_a, stream_b])
+    kinds = [line.split('"kind":"', 1)[1].split('"', 1)[0]
+             for line in merged]
+    assert kinds == ["early", "middle", "late"]
+    assert [line.count('"seq":') for line in merged] == [1, 1, 1]

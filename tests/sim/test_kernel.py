@@ -247,3 +247,56 @@ def test_peek_discards_dead_prefix():
     sim.schedule(3.0, lambda: None)
     assert sim.peek() == 3.0
     assert sim._ncancelled == 0
+
+
+def test_compaction_preserves_dispatch_order():
+    """Interleave live and (more than _COMPACT_MIN_DEAD) cancelled
+    events, force the in-place compaction, and verify the survivors
+    still fire in exactly the order an uncompacted agenda would."""
+    from repro.sim import kernel
+
+    n_dead = kernel._COMPACT_MIN_DEAD + 200
+    n_live = 300     # fewer live than dead, so the dead-majority trips
+    sim = Simulation()
+    seen = []
+    doomed = []
+    live_times = []
+    for i in range(n_dead):
+        if i < n_live:
+            # Live events at odd times, doomed timers interleaved.
+            t = 1.0 + 2.0 * i
+            sim.schedule(t, seen.append, t)
+            live_times.append(t)
+        doomed.append(sim.schedule(2.0 + 2.0 * i, seen.append, "dead"))
+    before = len(sim._heap)
+    for handle in doomed:
+        handle.cancel()
+    assert len(sim._heap) < before, "compaction never ran"
+    assert sim._ncancelled < kernel._COMPACT_MIN_DEAD
+    sim.run()
+    assert seen == live_times
+    assert sim.events_dispatched == n_live
+    assert sim._ncancelled == 0
+
+
+def test_compaction_preserves_locus_keys():
+    """Compacting a locus-mode agenda must keep the (time, locus-key)
+    entries intact — same-timestamp dispatch stays locus-ordered."""
+    from repro.sim import kernel
+
+    sim = Simulation()
+    sim.enable_locus_mode()
+    seen = []
+    with sim.locus(7):
+        doomed = [sim.schedule(1e6 + i, seen.append, "dead")
+                  for i in range(kernel._COMPACT_MIN_DEAD + 50)]
+    # Same timestamp, descending scheduling locus: dispatch must come
+    # back ascending after the compaction.
+    for locus in (5, 3, 1):
+        with sim.locus(locus):
+            sim.schedule(10.0, seen.append, locus)
+    for handle in doomed:
+        handle.cancel()
+    assert sim._ncancelled < kernel._COMPACT_MIN_DEAD
+    sim.run(until=20.0)
+    assert seen == [1, 3, 5]
