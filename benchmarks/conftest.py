@@ -18,6 +18,19 @@ from repro.analysis.ablation import baseline_trace
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick", action="store_true", default=False,
+        help="benchmarks: skip the largest scaling sizes (CI subset)",
+    )
+
+
+@pytest.fixture(scope="session")
+def quick(pytestconfig):
+    """Whether the run asked for the CI-sized subset (``--quick``)."""
+    return pytestconfig.getoption("--quick")
+
+
 @pytest.fixture(scope="session")
 def month_run():
     """The full-scale simulated month (computed once, ~15 s)."""

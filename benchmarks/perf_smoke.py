@@ -5,10 +5,12 @@ Two suites, selected with ``--suite``:
 * ``kernel`` (default) — the kernel micro-benchmarks plus a 2-day
   mini-month; numbers go to ``BENCH_kernel.json``.
 * ``coordinator`` — delta-protocol coordinator scaling at N=100 and
-  N=1000 stations (2 simulated days each); numbers go to
-  ``BENCH_coordinator.json``.  ``--full`` additionally measures the
-  polling build at N=1000 (the speedup denominator) and the N=5000
-  delta run — slow, so off by default in CI.
+  N=1000 stations (2 simulated days each), plus the federated build at
+  N=1000/K=4; numbers go to ``BENCH_coordinator.json``.  Each row runs
+  in its own subprocess so it carries an honest ``peak_rss_mib``.
+  ``--full`` additionally measures the polling build at N=1000 (the
+  speedup denominator), the N=5000 delta run, and the federation
+  headline — a 50k-station day at K=10 — slow, so off by default in CI.
 
 With ``--check BASELINE`` the run fails when any gated throughput
 metric regresses more than the tolerance (default 30%) against the
@@ -203,15 +205,18 @@ def bench_sharded(days=8, seed=11, shards=4):
     return result
 
 
-def bench_coordinator_scale(stations, mode="delta", days=2, rounds=1):
+def bench_coordinator_scale(stations, mode="delta", days=2, rounds=1,
+                            pools=None):
     """One scaled-cluster run; throughput in station-cycles/second.
 
     ``station_cycles_per_sec`` (stations x coordinator cycles / wall) is
     the gated metric: it normalises cluster size away, so the same floor
     protects both sizes, and under full polling it is roughly flat while
     the delta protocol grows it with N — which is the whole point.
-    Best wall time over ``rounds`` runs (short runs need warm-up
-    shielding just like the micro-benchmarks).
+    With ``pools`` the run is federated into that many per-pool
+    coordinators under the matchmaker.  Best wall time over ``rounds``
+    runs (short runs need warm-up shielding just like the
+    micro-benchmarks).
     """
     from repro.analysis import run_month
     from repro.core.config import CondorConfig
@@ -219,23 +224,53 @@ def bench_coordinator_scale(stations, mode="delta", days=2, rounds=1):
 
     config = CondorConfig(max_machines_per_station=6,
                           coordinator_mode=mode)
+    kwargs = {} if pools is None else {"pools": pools}
     wall = None
     for _ in range(rounds):
         reset_job_ids()
         t0 = time.perf_counter()
         run = run_month(seed=7, days=days, stations=stations,
-                        job_scale=0.1, config=config)
+                        job_scale=0.1, config=config, **kwargs)
         elapsed = time.perf_counter() - t0
         wall = elapsed if wall is None else min(wall, elapsed)
     cycles = run.system.coordinator.cycles
-    return {
+    row = {
         "stations": stations,
-        "mode": mode,
+        "mode": "federated" if pools is not None else mode,
+        "days": days,
         "wall_seconds": round(wall, 4),
         "events": run.sim.events_dispatched,
         "cycles": cycles,
         "station_cycles_per_sec": round(stations * cycles / wall, 1),
     }
+    if pools is not None:
+        row["pools"] = pools
+    return row
+
+
+def _coordinator_row(spec):
+    """Run one coordinator row in a fresh interpreter; return its dict.
+
+    The isolation serves the per-row ``peak_rss_mib`` column: ru_maxrss
+    is a process-lifetime high-water mark, so rows measured in-process
+    would all inherit the largest row's footprint.  The child reports
+    its own peak (see the hidden ``--row`` flag in :func:`main`).
+    """
+    import os
+    import subprocess
+
+    here = os.path.abspath(__file__)
+    src = os.path.join(os.path.dirname(os.path.dirname(here)), "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, here, "--row", json.dumps(spec)],
+        capture_output=True, text=True, env=env,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"coordinator row {spec} failed:\n{proc.stderr}")
+    return json.loads(proc.stdout)
 
 
 def _with_rss(results):
@@ -277,20 +312,27 @@ PRE_PR6_N5000_DELTA = {
 
 def measure_coordinator(full=False):
     results = {
-        "n100": bench_coordinator_scale(100, rounds=3),
-        "n1000": bench_coordinator_scale(1000, rounds=2),
+        "n100": _coordinator_row(dict(stations=100, rounds=3)),
+        "n1000": _coordinator_row(dict(stations=1000, rounds=2)),
+        "n1000_federated_k4": _coordinator_row(
+            dict(stations=1000, rounds=2, pools=4)),
     }
     if full:
         # The pre-change builds: full polling every cycle (still
         # runnable, measured live) and the pre-rotation N=5000 delta row
         # (recorded snapshot).  Checked into the baseline JSON so the
         # artifact itself records what each change is compared against.
-        poll = bench_coordinator_scale(1000, mode="poll")
+        poll = _coordinator_row(dict(stations=1000, mode="poll"))
         results["pre_pr_baseline"] = {
             "n1000_poll": poll,
             "n5000_delta": dict(PRE_PR6_N5000_DELTA),
         }
-        results["n5000"] = bench_coordinator_scale(5000)
+        results["n5000"] = _coordinator_row(dict(stations=5000))
+        # The federation headline: a 50k-station pool (K=10) completing
+        # a full simulated day at least as fast, per station-cycle, as
+        # the single-coordinator N=5000 run did before this change.
+        results["n50000_federated_k10"] = _coordinator_row(
+            dict(stations=50000, days=1, pools=10))
         results["speedup_n1000"] = round(
             poll["wall_seconds"] / results["n1000"]["wall_seconds"], 2)
         results["speedup_n5000"] = round(
@@ -316,6 +358,9 @@ GATED = {
     "coordinator": (
         ("n100", "station_cycles_per_sec"),
         ("n1000", "station_cycles_per_sec"),
+        ("n1000_federated_k4", "station_cycles_per_sec"),
+        # Only measured with --full; absent rows simply don't gate.
+        ("n50000_federated_k10", "station_cycles_per_sec"),
     ),
 }
 
@@ -374,8 +419,21 @@ def main(argv=None):
                         help="allowed fractional regression (default 0.30)")
     parser.add_argument("--full", action="store_true",
                         help="coordinator suite: also measure the polling "
-                             "build at N=1000 and the N=5000 delta run")
+                             "build at N=1000, the N=5000 delta run and "
+                             "the N=50000 federated day")
+    parser.add_argument("--row", help=argparse.SUPPRESS)
     args = parser.parse_args(argv)
+    if args.row:
+        # Hidden worker mode: run one coordinator row and report it —
+        # including this process's own peak RSS — as JSON on stdout.
+        row = bench_coordinator_scale(**json.loads(args.row))
+        maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        if sys.platform == "darwin":  # pragma: no cover
+            maxrss //= 1024
+        row["peak_rss_mib"] = round(maxrss / 1024, 1)
+        json.dump(row, sys.stdout, sort_keys=True)
+        sys.stdout.write("\n")
+        return 0
     output = args.output or DEFAULT_OUTPUT[args.suite]
 
     print(f"# measuring {args.suite} throughput ...")

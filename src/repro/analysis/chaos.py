@@ -30,6 +30,7 @@ from repro.faults import (
     CorruptCheckpoint,
     CrashCoordinator,
     CrashMidTransfer,
+    CrashPoolCoordinator,
     CrashStation,
     DiskFail,
     DiskPressure,
@@ -120,6 +121,26 @@ def _kitchen_sink():
     )
 
 
+def _pool_coordinator_crash():
+    # Federated K=2 over the chaos cluster: pool 0 = {home, h0..h2}
+    # carries all the demand, pool 1 = {h3..h5} is pure surplus, so
+    # cross-pool leases are live for most of the run.  First the
+    # *lender* dies mid-lease (its on-loan book and reclaim timers must
+    # survive the outage), then the *borrower* dies and fails over to
+    # h0 (it must drop and return everything it was borrowing while the
+    # lender's reclaim backstop covers lost returns).
+    return ChaosSchedule(
+        "pool-coordinator-crash",
+        [
+            CrashPoolCoordinator(1, at=2 * HOUR, duration=30 * MINUTE),
+            CrashPoolCoordinator(0, at=6 * HOUR, duration=30 * MINUTE,
+                                 failover_to="h0"),
+        ],
+        description="lender then borrower pool coordinator die mid-lease; "
+                    "failover reuses the epoch/lease recovery machinery",
+    )
+
+
 def _corrupt_restore():
     return ChaosSchedule(
         "corrupt-restore",
@@ -166,6 +187,7 @@ SCHEDULES = {
     "loss-burst": _loss_burst,
     "crash-mid-transfer": _crash_mid_transfer,
     "kitchen-sink": _kitchen_sink,
+    "pool-coordinator-crash": _pool_coordinator_crash,
     "corrupt-restore": _corrupt_restore,
     "torn-write": _torn_write,
     "disk-chaos": _disk_chaos,
@@ -176,6 +198,7 @@ SUITES = {
     "network": ("station-crashes", "coordinator-outage", "partition",
                 "loss-burst", "crash-mid-transfer", "kitchen-sink"),
     "storage": ("corrupt-restore", "torn-write", "disk-chaos"),
+    "federation": ("pool-coordinator-crash",),
 }
 
 #: Per-scenario CondorConfig overrides, applied when the caller passes
@@ -183,6 +206,8 @@ SUITES = {
 #: rotted newest image falls back instead of restarting from zero.
 SCENARIO_CONFIGS = {
     "corrupt-restore": {"checkpoint_generations": 2},
+    "pool-coordinator-crash": {"coordinator_mode": "federated",
+                               "federation_pools": 2},
 }
 
 

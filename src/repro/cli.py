@@ -89,7 +89,7 @@ def _cmd_month(args):
         return _cmd_month_sharded(args)
     start = time.time()
     run = run_month(seed=args.seed, days=args.days, job_scale=args.scale,
-                    trace_path=args.trace)
+                    trace_path=args.trace, pools=args.pools or None)
     if args.trace:
         print(f"# recorded {run.telemetry.events_emitted:,} telemetry "
               f"events to {args.trace}")
@@ -438,6 +438,9 @@ def build_parser():
                        help="also export every exhibit as CSV files")
     month.add_argument("--trace", metavar="FILE",
                        help="record the telemetry event stream as JSONL")
+    month.add_argument("--pools", type=int, default=0, metavar="K",
+                       help="federate the coordinator into K pools "
+                            "(flocking; K=1 is byte-identical to delta)")
     month.add_argument("--shards", type=int, default=0, metavar="K",
                        help="run the space-parallel cell profile across "
                             "K shard processes (see DESIGN.md)")

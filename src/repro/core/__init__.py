@@ -7,6 +7,7 @@ from repro.core.coordinator import Coordinator
 from repro.core.dag import JobDag
 from repro.core.errors import SchedulingError, SubmissionRefused
 from repro.core.faults import CrashInjector
+from repro.core.federation import Matchmaker, PoolCoordinator, federation_pools
 from repro.core.invariants import InvariantChecker, InvariantViolation
 from repro.core.events import EventBus
 from repro.core.job import (
@@ -43,6 +44,9 @@ __all__ = [
     "StationSpec",
     "CondorConfig",
     "Coordinator",
+    "PoolCoordinator",
+    "Matchmaker",
+    "federation_pools",
     "JobDag",
     "GangJob",
     "LocalScheduler",

@@ -40,7 +40,8 @@ class ClusterView:
     """Last-known station states plus incrementally derived allocation sets."""
 
     __slots__ = ("names", "order", "states", "seqs", "quarantined",
-                 "wanting", "held_counts", "hosting", "_idle", "_unknown")
+                 "wanting", "held_counts", "hosting", "_idle", "_unknown",
+                 "_retired")
 
     def __init__(self, station_names):
         if not station_names:
@@ -66,6 +67,53 @@ class ClusterView:
         #: cycle's idle list comes out in station-registration order —
         #: the same order a full poll's replies settle in.
         self._idle = []
+        #: Former members (stations lent to another pool).  Their slot in
+        #: ``names``/``order`` survives as a tombstone so registration
+        #: indices stay stable if the station comes back.
+        self._retired = set()
+
+    # ------------------------------------------------------------------
+    # dynamic membership (federation leases)
+
+    def member(self, name):
+        """Whether ``name`` currently belongs to this view."""
+        return name in self.order and name not in self._retired
+
+    def add_station(self, name, state=None):
+        """Admit a station (a borrowed machine, or a returning loan).
+
+        With ``state`` the view starts from that observation; without it
+        the station joins as unknown and is probed into the view.
+        """
+        if name in self.order:
+            if name not in self._retired:
+                raise SimulationError(f"station {name!r} already in view")
+            self._retired.discard(name)
+        else:
+            self.order[name] = len(self.names)
+            self.names.append(name)
+        if state is not None:
+            self.apply(name, state, from_reply=True)
+        else:
+            self._unknown.add(name)
+
+    def remove_station(self, name):
+        """Retire a member (lent out); returns its last state or ``None``.
+
+        Both the state *and* the applied-seq record are dropped: the
+        station's scheduler keeps counting its push sequence while away,
+        and a re-admission must not read the borrower-era numbers as
+        drift (a spurious view-repair event).
+        """
+        if not self.member(name):
+            raise SimulationError(f"station {name!r} not in view")
+        old = self._effective(name)
+        self._retired.add(name)
+        self._refresh(name, old, None)
+        self.seqs.pop(name, None)
+        self.quarantined.discard(name)
+        self._unknown.discard(name)
+        return self.states.pop(name, None)
 
     # ------------------------------------------------------------------
     # queries
@@ -82,11 +130,20 @@ class ClusterView:
         names = self.names
         return [names[i] for i in self._idle]
 
+    @property
+    def idle_count(self):
+        """How many stations are grantable, without building the list."""
+        return len(self._idle)
+
     # ------------------------------------------------------------------
     # mutation
 
-    def apply(self, name, state, from_reply=False):
+    def apply(self, name, state, seq=None, from_reply=False):
         """Absorb one state observation; returns ``True`` if applied.
+
+        ``seq`` is the sender's push sequence number, carried in the
+        message envelope next to the (shared, never-mutated) state dict
+        so the hot paths never copy the state just to tag it.
 
         ``from_reply=True`` marks a direct poll/probe reply: receiving
         one proves the station reachable, so it always lifts quarantine —
@@ -96,29 +153,36 @@ class ClusterView:
         before the crash must not resurrect a dead host, while a genuine
         reboot announces itself with a bumped epoch.
         """
-        if name not in self.order:
+        if name not in self.order or name in self._retired:
             raise SimulationError(f"unknown station {name!r} in view")
-        old = self._effective(name)
+        lifted = False
         if name in self.quarantined:
             if from_reply:
                 self.quarantined.discard(name)
+                lifted = True
             else:
                 known = self.states.get(name)
                 if known is not None and not (
                         state["boot_epoch"] > known["boot_epoch"]):
                     return False
                 self.quarantined.discard(name)
-        seq = state.get("seq")
+                lifted = True
         prev_seq = self.seqs.get(name)
-        stale = (seq is not None and prev_seq is not None
-                 and seq <= prev_seq)
-        if not stale:
-            self.states[name] = state
-            self._unknown.discard(name)
-            if seq is not None:
-                self.seqs[name] = seq
+        if seq is not None and prev_seq is not None and seq <= prev_seq:
+            # Stale content: nothing stored, so the derived sets only
+            # move if the reply just lifted a quarantine (the common
+            # case — a quiet station re-probed by the anti-entropy sweep
+            # — skips the refresh entirely).
+            if lifted:
+                self._refresh(name, None, self._effective(name))
+            return False
+        old = None if lifted else self._effective(name)
+        self.states[name] = state
+        self._unknown.discard(name)
+        if seq is not None:
+            self.seqs[name] = seq
         self._refresh(name, old, self._effective(name))
-        return not stale
+        return True
 
     def quarantine(self, name):
         """Mark a station unreachable; drop it from the derived sets."""
@@ -129,9 +193,14 @@ class ClusterView:
         self._refresh(name, old, None)
 
     def reset(self):
-        """Forget everything (a recovered coordinator resyncs from zero)."""
+        """Forget everything (a recovered coordinator resyncs from zero).
+
+        Retired (lent-out) stations stay retired: the lease, not the
+        crash, decides when they come back.
+        """
         self.states.clear()
-        self._unknown = set(self.names)
+        retired = self._retired
+        self._unknown = {n for n in self.names if n not in retired}
         self.seqs.clear()
         self.quarantined.clear()
         self.wanting.clear()

@@ -21,7 +21,11 @@ class CondorConfig:
     #: ``"delta"`` — local schedulers push ``state_update`` messages when
     #: their observable state changes and the coordinator allocates from a
     #: materialized view (scales to thousands of stations);
-    #: ``"poll"`` — the 1988 behaviour: a full RPC fan-out every cycle.
+    #: ``"poll"`` — the 1988 behaviour: a full RPC fan-out every cycle;
+    #: ``"federated"`` — the pool is partitioned into
+    #: ``federation_pools`` independent delta-mode coordinators topped by
+    #: a thin matchmaker that trades surplus capacity between pools via
+    #: time-bounded station leases (HTCondor's "flocking").
     coordinator_mode: str = "delta"
     #: In delta mode, run a full anti-entropy poll every this many cycles
     #: to repair the view after lost pushes and catch silent reboots.
@@ -100,6 +104,24 @@ class CondorConfig:
     #: space-parallel runtime shard job bodies cleanly (coordinator
     #: control traffic still spans cells).
     placement_cells: int = None
+    #: Number of per-pool coordinators under ``coordinator_mode=
+    #: "federated"``.  Station i of N belongs to pool ``i*K//N`` — the
+    #: same contiguous arithmetic as placement cells, so a cell never
+    #: straddles a pool and federation composes with ``--shards``.
+    #: With ``federation_pools=1`` the federated build is the delta
+    #: build: one pool coordinator, no matchmaker, byte-identical traces.
+    federation_pools: int = 1
+    #: Matchmaker matching period; ``None`` means ``poll_interval``.
+    federation_interval: float = None
+    #: How long a cross-pool lease lasts before the borrower must return
+    #: the station (checkpointing any foreign job back through the
+    #: normal vacate path).
+    federation_lease_duration: float = 30 * MINUTE
+    #: Extra grace past expiry before the *lender* unilaterally reclaims
+    #: a station whose return never arrived (borrower crashed).
+    federation_reclaim_grace: float = 10 * MINUTE
+    #: Cap on stations moved by one lease grant.
+    federation_max_lease: int = 4
 
     def __post_init__(self):
         if self.poll_interval <= 0 or self.grace_period < 0:
@@ -121,7 +143,7 @@ class CondorConfig:
             raise SimulationError("periodic_checkpoint_interval must be > 0")
         if not 0 <= self.scheduler_daemon_load < 1:
             raise SimulationError("scheduler_daemon_load must be in [0, 1)")
-        if self.coordinator_mode not in ("delta", "poll"):
+        if self.coordinator_mode not in ("delta", "poll", "federated"):
             raise SimulationError(
                 f"unknown coordinator_mode {self.coordinator_mode!r}"
             )
@@ -144,3 +166,14 @@ class CondorConfig:
             raise SimulationError("checkpoint_generations must be >= 1")
         if self.placement_cells is not None and self.placement_cells < 1:
             raise SimulationError("placement_cells must be >= 1")
+        if self.federation_pools < 1:
+            raise SimulationError("federation_pools must be >= 1")
+        if (self.federation_interval is not None
+                and self.federation_interval <= 0):
+            raise SimulationError("federation_interval must be > 0")
+        if self.federation_lease_duration <= 0:
+            raise SimulationError("federation_lease_duration must be > 0")
+        if self.federation_reclaim_grace < 0:
+            raise SimulationError("federation_reclaim_grace must be >= 0")
+        if self.federation_max_lease < 1:
+            raise SimulationError("federation_max_lease must be >= 1")

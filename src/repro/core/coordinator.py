@@ -60,20 +60,63 @@ class CycleSnapshot:
     machine reporting a foreign job.
     """
 
-    __slots__ = ("states", "wanting", "held_counts", "idle_hosts",
-                 "holders", "unreachable", "live_idle")
+    __slots__ = ("states", "wanting", "held_counts", "_idle_source",
+                 "_idle_hosts", "_idle_count", "holders", "unreachable",
+                 "live_idle")
 
     def __init__(self, states, wanting, held_counts, idle_hosts, holders,
-                 unreachable, live_idle=False):
+                 unreachable, live_idle=False, idle_count=None):
         self.states = states
         self.wanting = wanting
         self.held_counts = held_counts
-        self.idle_hosts = idle_hosts
+        # ``idle_hosts`` may be a ready list (poll mode) or a zero-arg
+        # callable (delta mode): a quiet cycle that issues nothing and
+        # has no trace subscriber never materializes the list at all —
+        # the per-cycle rebuild was the dominant allocation cost at
+        # N=50000.
+        if callable(idle_hosts):
+            self._idle_source = idle_hosts
+            self._idle_hosts = None
+        else:
+            self._idle_source = None
+            self._idle_hosts = idle_hosts
+        self._idle_count = idle_count
         self.holders = holders
         self.unreachable = unreachable
         #: Whether ``current_idle`` must be derived from ``idle_since``
         #: (view states are not re-stamped at every cycle).
         self.live_idle = live_idle
+
+    @property
+    def idle_hosts(self):
+        """Grantable stations in deterministic order (built on demand)."""
+        if self._idle_hosts is None:
+            self._idle_hosts = self._idle_source()
+        return self._idle_hosts
+
+    def exclude_idle(self, names):
+        """Drop ``names`` from the grantable set (order preserved).
+
+        Used by federation to keep expired-lease borrowed stations out
+        of the allocation pass while they drain back to their lender.
+        """
+        if self._idle_hosts is not None:
+            self._idle_hosts = [h for h in self._idle_hosts
+                                if h not in names]
+        else:
+            source = self._idle_source
+            self._idle_source = lambda: [h for h in source()
+                                         if h not in names]
+        self._idle_count = None
+
+    @property
+    def idle_count(self):
+        """``len(idle_hosts)`` without forcing the list to exist."""
+        if self._idle_hosts is not None:
+            return len(self._idle_hosts)
+        if self._idle_count is not None:
+            return self._idle_count
+        return len(self.idle_hosts)
 
     def current_idle(self, name, now):
         """How long ``name`` has been idle, as of this cycle."""
@@ -89,8 +132,9 @@ class Coordinator(Node):
     """Capacity allocator for the whole cluster."""
 
     def __init__(self, sim, net, station_names, policy, bus, config,
-                 host_station=None, reservations=None, cells=None):
-        super().__init__("coordinator")
+                 host_station=None, reservations=None, cells=None,
+                 name="coordinator"):
+        super().__init__(name)
         if not station_names:
             raise SimulationError("coordinator needs at least one station")
         self.sim = sim
@@ -143,11 +187,17 @@ class Coordinator(Node):
         self.cycles = 0
         self.grants_issued = 0
         self.preemptions_ordered = 0
+        #: The two per-observation counters, resolved once — ``_absorb``
+        #: runs for every push and probe reply (millions per simulated
+        #: day at 50k stations), so the registry lookup is hoisted out.
+        metrics = bus.metrics
+        self._ctr_applied = metrics.counter("coordinator.updates_applied")
+        self._ctr_stale = metrics.counter("coordinator.updates_stale")
         #: At-least-once delivery for host_lost notices: a home that
         #: never learns its host died would strand the job forever.
         self._retry = ReliableSender(
             net, self.name,
-            RandomStream(config.retry_seed, "retry.coordinator"),
+            RandomStream(config.retry_seed, f"retry.{self.name}"),
             bus=bus,
             backoff_base=config.retry_backoff_base,
             backoff_cap=config.retry_backoff_cap,
@@ -171,10 +221,10 @@ class Coordinator(Node):
     def start(self):
         """Begin the polling/allocation loop.  Idempotent."""
         if self._process is None:
-            self._process = self.sim.spawn(self._run(), name="coordinator")
+            self._process = self.sim.spawn(self._run(), name=self.name)
 
     def _run(self):
-        delta = self.config.coordinator_mode == "delta"
+        delta = self.config.coordinator_mode != "poll"
         while True:
             yield self.config.poll_interval
             if self.crashed:
@@ -193,6 +243,10 @@ class Coordinator(Node):
                 snapshot = self._snapshot_from_poll(poll)
             self._allocate(snapshot)
             self._charge_overhead()
+            self._post_cycle()
+
+    def _post_cycle(self):
+        """Hook after each allocation cycle (federation lease upkeep)."""
 
     # ------------------------------------------------------------------
     # polling
@@ -345,7 +399,8 @@ class Coordinator(Node):
         if self.crashed:
             return   # don't absorb observations made by a dead daemon
         for name, reply in poll.replies.items():
-            self._absorb(name, reply, from_reply=True)
+            self._absorb(name, reply["state"], reply["seq"],
+                         from_reply=True)
         # Registration order, not set order: _note_unreachable sends
         # host_lost notices, and their send order assigns per-sender loss
         # draws — set iteration would make that hash-seed dependent.
@@ -354,14 +409,26 @@ class Coordinator(Node):
 
     def _handle_state_update(self, payload):
         """A local scheduler pushed its new observable state."""
-        if self.config.coordinator_mode != "delta":
+        if self.config.coordinator_mode == "poll":
             return
         name = payload["station"]
-        if name in self.view.order:
-            self._absorb(name, payload["state"], from_reply=False)
+        if self.view.member(name):
+            self._absorb(name, payload["state"], payload["seq"],
+                         from_reply=False)
 
-    def _absorb(self, name, state, from_reply):
+    def _absorb(self, name, state, seq, from_reply):
         """Fold one state observation into the view and bookkeeping."""
+        view = self.view
+        prev = view.seqs.get(name)
+        if (seq is not None and prev is not None and seq <= prev
+                and name not in view.quarantined
+                and state["boot_epoch"] == self._boot_epochs.get(name)):
+            # Quiet-station probe reply (or a reordered duplicate): same
+            # incarnation, nothing newer than the seq gate has already
+            # applied — the full path below would do exactly nothing,
+            # and most anti-entropy replies in a large pool land here.
+            self._ctr_stale.inc()
+            return
         # Reboot signature first (mirrors _detect_lost_hosts): the host we
         # believed was running a foreign job reports a fresh boot with an
         # empty slot — the job died with the old incarnation.
@@ -372,13 +439,13 @@ class Coordinator(Node):
             del self._hosting_map[name]
             self._send_host_lost(home, name)
         prev_seq = self.view.seqs.get(name)
-        applied = self.view.apply(name, state, from_reply=from_reply)
-        metrics = self.bus.metrics
+        applied = self.view.apply(name, state, seq=seq,
+                                  from_reply=from_reply)
         if not applied:
-            metrics.counter("coordinator.updates_stale").inc()
+            self._ctr_stale.inc()
             return
         self._work_units += 1
-        metrics.counter("coordinator.updates_applied").inc()
+        self._ctr_applied.inc()
         self._last_heard_cycle[name] = self._cycle_index
         self._boot_epochs[name] = state["boot_epoch"]
         if state["hosting_home"] is not None:
@@ -388,14 +455,13 @@ class Coordinator(Node):
             # empty slot clears any provisional grant entry for it.
             self._hosting_map.pop(name, None)
         if (from_reply and prev_seq is not None
-                and state.get("seq") is not None
-                and state["seq"] > prev_seq):
+                and seq is not None and seq > prev_seq):
             # A pushed update never arrived; the anti-entropy poll (or a
             # probe) repaired the drift.  Absent on a healthy network.
             self.bus.publish(ev.COORDINATOR_VIEW_REPAIR, station=name,
                              time=self.sim.now, seq_from=prev_seq,
-                             seq_to=state["seq"])
-            metrics.counter("coordinator.view_repairs").inc()
+                             seq_to=seq)
+            self.bus.metrics.counter("coordinator.view_repairs").inc()
 
     def _note_unreachable(self, name):
         """A probed station failed to answer: quarantine it and notify
@@ -410,8 +476,9 @@ class Coordinator(Node):
         holders = [(host, view.hosting[host])
                    for host in sorted(view.hosting, key=view.order.__getitem__)]
         return CycleSnapshot(view.states, view.wanting, view.held_counts,
-                             view.idle_hosts(), holders,
-                             view.quarantined, live_idle=True)
+                             view.idle_hosts, holders,
+                             view.quarantined, live_idle=True,
+                             idle_count=view.idle_count)
 
     # ------------------------------------------------------------------
     # allocation
@@ -428,40 +495,45 @@ class Coordinator(Node):
         allocated_counts = snapshot.held_counts
         self.policy.update(wanting, allocated_counts, dt)
 
-        idle_hosts = snapshot.idle_hosts
         ranked = self.policy.rank_requesters(wanting)
 
-        reserved_grants, reserved_preemptions, used_hosts = (
+        # ``removed`` tracks idle hosts consumed ahead of ordinary grants
+        # (reservations, gang launches).  The cycle's effective idle list
+        # is ``snapshot.idle_hosts`` minus it — but that list is only
+        # materialized by the stages that genuinely need the names; a
+        # quiet cycle works entirely from the O(1) count.
+        removed = set()
+        reserved_grants, reserved_preemptions = (
             self._serve_reservations(snapshot, wanting, allocated_counts,
-                                     idle_hosts)
+                                     removed)
         )
-        if used_hosts:
-            idle_hosts = [h for h in idle_hosts if h not in used_hosts]
-        gang_grants = self._serve_gangs(snapshot, ranked, idle_hosts)
-        if gang_grants:
-            gang_hosts = {h for _req, hosts in gang_grants for h in hosts}
-            idle_hosts = [h for h in idle_hosts if h not in gang_hosts]
+        gang_grants = self._serve_gangs(snapshot, ranked, removed)
         grants = reserved_grants + self._issue_grants(
-            snapshot, ranked, idle_hosts, allocated_counts)
+            snapshot, ranked, removed, allocated_counts)
         # Record grants provisionally so a host that crashes right after
         # taking a fresh placement is covered by next cycle's detection
         # (if the placement never started, the home ignores the notice).
         for requester, host in grants:
             self._hosting_map[host] = requester
         preemptions = reserved_preemptions + self._order_preemptions(
-            snapshot, ranked, grants, idle_hosts, allocated_counts)
-        self.bus.publish(
-            ev.COORDINATOR_CYCLE,
-            time=now, wanting=sorted(wanting), idle=sorted(idle_hosts),
-            grants=grants, preemptions=preemptions,
-            gang_grants=gang_grants,
-            unreachable=sorted(snapshot.unreachable),
-        )
+            snapshot, ranked, grants, removed, allocated_counts)
+        idle_count = snapshot.idle_count - len(removed)
+        if self.bus.hub.wants(ev.COORDINATOR_CYCLE):
+            idle_hosts = snapshot.idle_hosts
+            if removed:
+                idle_hosts = [h for h in idle_hosts if h not in removed]
+            self.bus.publish(
+                ev.COORDINATOR_CYCLE,
+                time=now, wanting=sorted(wanting), idle=sorted(idle_hosts),
+                grants=grants, preemptions=preemptions,
+                gang_grants=gang_grants,
+                unreachable=sorted(snapshot.unreachable),
+            )
         metrics = self.bus.metrics
         metrics.counter("coordinator.cycles").inc()
         metrics.counter("coordinator.grants").inc(len(grants))
         metrics.counter("coordinator.preemptions").inc(len(preemptions))
-        metrics.gauge("coordinator.idle_stations").set(len(idle_hosts))
+        metrics.gauge("coordinator.idle_stations").set(idle_count)
         metrics.gauge("coordinator.wanting_stations").set(len(wanting))
         # Wall-clock cost of one allocation pass; lives in the registry,
         # never in the (deterministic) trace stream.
@@ -469,22 +541,29 @@ class Coordinator(Node):
             _wallclock.perf_counter() - cycle_started
         )
 
-    def _serve_gangs(self, snapshot, ranked, idle_hosts):
+    def _serve_gangs(self, snapshot, ranked, removed):
         """Co-allocate machines for pending parallel programs (§5(2)).
 
         A gang launches only when its full width of machines is idle in
         one cycle; the burst of simultaneous placements deliberately
         bypasses the one-per-cycle throttle (the scheduling tension the
-        paper predicted).  One gang per station per cycle.
+        paper predicted).  One gang per station per cycle.  Hosts handed
+        out are added to the caller's ``removed`` set; the idle list is
+        materialized only if some requester actually has a gang pending.
         """
         grants = []
         states = snapshot.states
         cells = self.cells
+        idle_hosts = None
         taken = set()   # idle hosts already handed to earlier gangs
         for requester in ranked:
             state = states.get(requester)
             if not state or not state.get("pending_gangs"):
                 continue
+            if idle_hosts is None:
+                idle_hosts = snapshot.idle_hosts
+                if removed:
+                    idle_hosts = [h for h in idle_hosts if h not in removed]
             width = state["pending_gangs"][0]
             pool = [h for h in idle_hosts if h not in taken
                     and (cells is None or cells[h] == cells[requester])]
@@ -502,20 +581,22 @@ class Coordinator(Node):
                 self._hosting_map[host] = requester
             self.grants_issued += width
             grants.append((requester, tuple(chosen)))
+        removed.update(taken)
         return grants
 
     def _serve_reservations(self, snapshot, wanting, allocated_counts,
-                            idle_hosts):
+                            removed):
         """Grant (or free by preemption) machines owed to active
         reservations.  Bypasses the placement throttle and per-station
         caps — that is what a reservation buys — but never touches a
         machine hosting another reservation beneficiary, and owners keep
-        absolute priority on their own machines regardless."""
+        absolute priority on their own machines regardless.  Idle hosts
+        consumed are added to the caller's ``removed`` set."""
         if self.reservations is None:
-            return [], [], set()
+            return [], []
         counts = self.reservations.reserved_counts(self.sim.now)
         if not counts:
-            return [], [], set()
+            return [], []
         if self.cells is not None:
             raise SimulationError(
                 "reservations are not supported with placement cells")
@@ -525,7 +606,7 @@ class Coordinator(Node):
         states = snapshot.states
         # Idle hosts are consumed front to back and never returned, so a
         # single shared iterator replaces the old O(N) rescan per grant.
-        idle_iter = iter(idle_hosts)
+        idle_iter = iter(snapshot.idle_hosts)
         for station in sorted(counts):
             if station not in wanting:
                 continue
@@ -538,6 +619,7 @@ class Coordinator(Node):
                 host = next(idle_iter, None)
                 if host is not None:
                     used.add(host)
+                    removed.add(host)
                     grants.append((station, host))
                     self.grants_issued += 1
                     self.net.message(station, "grant", {
@@ -558,7 +640,7 @@ class Coordinator(Node):
                         "for_station": station, "reservation": True,
                     }, src=self.name)
                 deficit -= 1
-        return grants, preemptions, used
+        return grants, preemptions
 
     def _reservation_victim(self, snapshot, reserved_counts, used, requester):
         """A host to evict for a reservation: hosting for a station that
@@ -575,11 +657,14 @@ class Coordinator(Node):
         index = getattr(self.policy, "index", lambda name: 0.0)
         return max(candidates, key=lambda pair: (index(pair[1]), pair[0]))[0]
 
-    def _issue_grants(self, snapshot, ranked, idle_hosts, allocated_counts):
+    def _issue_grants(self, snapshot, ranked, removed, allocated_counts):
         """Hand idle machines to requesters in priority order.
 
         ``available`` is a set (O(1) removal — the old list.remove made
-        a busy cycle O(grants x idle)); host selection is order-free
+        a busy cycle O(grants x idle)), built only when some requester
+        passes the cap checks — the unconditional per-cycle rebuild was
+        pure waste on the (majority of) cycles where every ranked
+        requester is already at cap.  Host selection is order-free
         because every mode totals-orders candidates by a key ending in
         the station name.
         """
@@ -587,14 +672,16 @@ class Coordinator(Node):
         per_station = self.config.grants_per_station_per_cycle
         cap = self.config.max_machines_per_station
         cells = self.cells
-        available = set(idle_hosts)
+        available = None
         grants = []
         granted_to = {}
         progress = True
-        while budget > 0 and available and progress:
+        while budget > 0 and progress:
             progress = False
             for requester in ranked:
-                if budget == 0 or not available:
+                if budget == 0:
+                    break
+                if available is not None and not available:
                     break
                 if granted_to.get(requester, 0) >= per_station:
                     continue
@@ -602,6 +689,11 @@ class Coordinator(Node):
                         allocated_counts.get(requester, 0)
                         + granted_to.get(requester, 0)) >= cap:
                     continue
+                if available is None:
+                    available = {h for h in snapshot.idle_hosts
+                                 if h not in removed}
+                    if not available:
+                        break
                 if cells is None:
                     candidates = available
                 else:
@@ -616,6 +708,8 @@ class Coordinator(Node):
                 granted_to[requester] = granted_to.get(requester, 0) + 1
                 budget -= 1
                 progress = True
+            if available is not None and not available:
+                break
         states = snapshot.states
         for requester, host in grants:
             self.grants_issued += 1
@@ -648,7 +742,7 @@ class Coordinator(Node):
         return max(candidates,
                    key=lambda n: (snapshot.current_idle(n, now), n))
 
-    def _order_preemptions(self, snapshot, ranked, grants, idle_hosts,
+    def _order_preemptions(self, snapshot, ranked, grants, removed,
                            allocated_counts):
         """When the pool is exhausted, evict for deprived requesters."""
         if not self.policy.allows_preemption:
@@ -662,11 +756,21 @@ class Coordinator(Node):
             (host, home) for host, home in snapshot.holders
             if host not in used_hosts
         ]
-        free_idle = set(idle_hosts) - used_hosts
-        if cells is None and free_idle:
+        # Grant hosts not already in ``removed`` came out of the filtered
+        # idle list, so free idle capacity is a pure count — no set
+        # difference over all idle hosts needed.
+        free_idle_count = (
+            snapshot.idle_count - len(removed)
+            - sum(1 for h in used_hosts  # set-order-ok (pure count)
+                  if h not in removed))
+        if cells is None and free_idle_count > 0:
             # Machines are still idle (the placement throttle held them
             # back this cycle); evicting anyone would be gratuitous.
             return []
+        free_idle = None
+        if cells is not None:
+            free_idle = {h for h in snapshot.idle_hosts
+                         if h not in removed and h not in used_hosts}
         # Machines working for an active reservation are immune to
         # ordinary preemption for the duration of the window.
         reserved = (self.reservations.reserved_counts()
@@ -718,9 +822,9 @@ class Coordinator(Node):
             return
         model = self.config.coordinator_overhead_model
         if model == "auto":
-            model = ("per_update"
-                     if self.config.coordinator_mode == "delta"
-                     else "per_station")
+            model = ("per_station"
+                     if self.config.coordinator_mode == "poll"
+                     else "per_update")
         if model == "per_station":
             cost = (self.config.coordinator_cycle_base_cost
                     + self.config.coordinator_cycle_per_station_cost

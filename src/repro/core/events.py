@@ -18,6 +18,9 @@ from repro.telemetry import TelemetryHub
 from repro.telemetry.kinds import (  # noqa: F401  (re-exported vocabulary)
     COORDINATOR_CYCLE,
     COORDINATOR_VIEW_REPAIR,
+    CROSS_POOL_LEASE_EXPIRED,
+    CROSS_POOL_LEASE_GRANTED,
+    CROSS_POOL_LEASE_RETURNED,
     HOST_LOST,
     JOB_COMPLETED,
     JOB_FAILED,
@@ -32,6 +35,7 @@ from repro.telemetry.kinds import (  # noqa: F401  (re-exported vocabulary)
     JOB_SUBMITTED,
     JOB_SUSPENDED,
     JOB_VACATED,
+    POOL_ADVERT,
 )
 from repro.telemetry.kinds import JOB_LIFECYCLE as ALL_EVENTS  # noqa: F401
 

@@ -102,15 +102,37 @@ class LocalScheduler(Node):
         #: Placement start times by job id (placement-latency metric).
         self._placement_started = {}
         self._started = False
+        #: When true, :class:`~repro.core.condor.CondorSystem` charges
+        #: daemon overhead for the whole cluster from one hourly loop
+        #: (one agenda event instead of N); a standalone scheduler keeps
+        #: its own per-station loop.
+        self.daemon_managed = False
         #: Delta protocol: push ``state_update`` messages instead of
         #: waiting to be polled.  One coalesced push per simulation
         #: timestamp with an observable change, tagged with a monotonic
         #: per-sender sequence number so the coordinator can discard
         #: stale reordered updates.
-        self._push_enabled = config.coordinator_mode == "delta"
+        self._push_enabled = config.coordinator_mode != "poll"
+        #: Where pushes go.  Fixed in delta mode; under federation a
+        #: ``rehome`` message re-points it when this station is lent to
+        #: (or returned from) another pool's coordinator.
+        self.coordinator_name = "coordinator"
+        #: Timestamp of the last accepted rehome — a monotonic guard so a
+        #: delayed, re-delivered rehome cannot roll the pointer back.
+        self._rehome_at = -1.0
         self._push_seq = 0
         self._last_pushed = None
         self._flush_handle = None
+        #: Memoized observable-state dict, dropped by ``_mark_dirty``.
+        #: Every observable mutation site marks dirty (that is what
+        #: drives the push protocol), so between marks the probe/poll
+        #: reply is a constant — and at 50k stations the anti-entropy
+        #: sweep asks for it hundreds of thousands of times a day.
+        self._state_cache = None
+        #: Memoized probe-reply envelope ({"state": ..., "seq": ...}),
+        #: likewise dropped by ``_mark_dirty``; never mutated after
+        #: construction, so consecutive probes can share one object.
+        self._reply_cache = None
         #: At-least-once delivery for pushes, placements and host→home
         #: job notices.  The jitter stream is seeded independently of the
         #: workload streams so retry timing cannot perturb them (and no
@@ -137,6 +159,7 @@ class LocalScheduler(Node):
         self.register_handler("job_killed", self._handle_job_killed)
         self.register_handler("periodic_checkpoint",
                               self._handle_periodic_checkpoint)
+        self.register_handler("rehome", self._handle_rehome)
         station.on_owner_change(self._owner_changed)
 
     def start(self):
@@ -145,7 +168,7 @@ class LocalScheduler(Node):
             return
         self._started = True
         self.station.start()
-        if self.config.scheduler_daemon_load > 0:
+        if self.config.scheduler_daemon_load > 0 and not self.daemon_managed:
             self.sim.spawn(self._daemon_overhead(),
                            name=f"{self.name}.daemon")
         # Announce the initial state so the coordinator's view covers us
@@ -156,18 +179,27 @@ class LocalScheduler(Node):
     # delta protocol (push side)
 
     def _observable_state(self):
-        """The fields the coordinator allocates from (poll or push)."""
-        return {
-            "idle": self.station.idle,
-            "hosting_home": self.hosted.home_name if self.hosted else None,
-            "pending": self.queue.pending_count,
-            "free_mb": self.station.disk.free_mb,
-            "mean_idle": self.station.mean_idle_interval(),
-            "idle_since": self.station.idle_since,
-            "boot_epoch": self.boot_epoch,
-            "arch": self.station.arch,
-            "pending_gangs": [gang.width for gang in self.pending_gangs],
-        }
+        """The fields the coordinator allocates from (poll or push).
+
+        Memoized until the next ``_mark_dirty``; callers treat the
+        returned dict as read-only (pushes and poll replies copy it
+        before adding per-message fields).
+        """
+        state = self._state_cache
+        if state is None:
+            state = self._state_cache = {
+                "idle": self.station.idle,
+                "hosting_home": (self.hosted.home_name
+                                 if self.hosted else None),
+                "pending": self.queue.pending_count,
+                "free_mb": self.station.disk.free_mb,
+                "mean_idle": self.station.mean_idle_interval(),
+                "idle_since": self.station.idle_since,
+                "boot_epoch": self.boot_epoch,
+                "arch": self.station.arch,
+                "pending_gangs": [gang.width for gang in self.pending_gangs],
+            }
+        return state
 
     def _mark_dirty(self):
         """Observable state may have changed: schedule one coalesced push.
@@ -176,6 +208,8 @@ class LocalScheduler(Node):
         ``state_update`` carrying the settled state — N queue operations
         in one event cost one message, not N.
         """
+        self._state_cache = None
+        self._reply_cache = None
         if not self._push_enabled or self.crashed:
             return
         if self._flush_handle is None:
@@ -190,20 +224,48 @@ class LocalScheduler(Node):
             return
         self._last_pushed = state
         self._push_seq += 1
-        if self.net.knows("coordinator"):
+        if self.net.knows(self.coordinator_name):
             seq = self._push_seq
             # Acknowledged with a capped retry: a push lost to a loss
             # burst or a briefly-down coordinator is re-sent instead of
             # waiting for anti-entropy.  Superseded (newer seq) or
             # post-crash retries abort; the coordinator's seq gate makes
             # duplicate deliveries harmless.
+            # The state dict itself is the memoized snapshot — shared,
+            # never mutated in place — so the envelope carries it by
+            # reference with the seq alongside instead of copying it.
             self._retry.send(
-                "coordinator", "state_update",
-                {"station": self.name, "state": {**state, "seq": seq}},
+                self.coordinator_name, "state_update",
+                {"station": self.name, "state": state, "seq": seq},
                 max_attempts=self.config.push_retry_limit,
                 abort=lambda: self.crashed or self._push_seq != seq,
                 on_give_up=self._push_gave_up,
             )
+
+    def _handle_rehome(self, payload):
+        """Federation moved this station to another pool's coordinator.
+
+        Sent by the side *taking* ownership, after it has admitted the
+        station into its view (the borrower on a lease grant; the lender
+        on return or reclaim) — so by the time the pointer moves, the
+        new coordinator can already absorb our pushes.  Timestamp-gated:
+        rehomes are retried at-least-once and may arrive reordered, and
+        only the newest assignment may win.
+        """
+        if self.crashed:
+            return False
+        at = payload["at"]
+        if at < self._rehome_at:
+            return False
+        self._rehome_at = at
+        target = payload["coordinator"]
+        if target != self.coordinator_name:
+            self.coordinator_name = target
+            # The new coordinator has never heard from us (or forgot us
+            # on lease return): resend full state unconditionally.
+            self._last_pushed = None
+            self._mark_dirty()
+        return True
 
     def _push_gave_up(self):
         # Forget what the coordinator last saw so the next flush resends
@@ -211,16 +273,20 @@ class LocalScheduler(Node):
         # anti-entropy poll covers the gap.
         self._last_pushed = None
 
+    def charge_daemon_overhead(self):
+        """Book one hour of daemon background load ending now."""
+        if not self.crashed:
+            self.station.ledger.add_load(
+                SCHEDULER, self.sim.now - HOUR, self.sim.now,
+                self.config.scheduler_daemon_load,
+            )
+
     def _daemon_overhead(self):
         # Book the daemon's small background load in hourly chunks so the
         # utilisation time series sees it spread, not lumped at the end.
         while True:
             yield HOUR
-            if not self.crashed:
-                self.station.ledger.add_load(
-                    SCHEDULER, self.sim.now - HOUR, self.sim.now,
-                    self.config.scheduler_daemon_load,
-                )
+            self.charge_daemon_overhead()
 
     # ==================================================================
     # submit side
@@ -274,15 +340,26 @@ class LocalScheduler(Node):
     def _handle_poll(self, payload):
         """Answer the coordinator: am I idle, what do I want, whom do I host.
 
-        The reply is the pushed observable state plus ``current_idle``
-        (stamped fresh — only polls need it pre-computed) and the seq of
-        the last push, so a reply absorbed into the delta-protocol view
-        can never be overridden by an older in-flight push.
+        Under the delta protocol the reply is an envelope around the
+        (shared) observable-state snapshot plus the seq of the last
+        push, so a reply absorbed into the view can never be overridden
+        by an older in-flight push — and the anti-entropy sweep's
+        hundreds of thousands of probe replies per simulated day never
+        copy the snapshot.  A polling coordinator instead gets the flat
+        state with ``current_idle`` stamped fresh (only full polls need
+        it pre-computed; the delta view derives it from ``idle_since``).
         """
+        if self._push_enabled:
+            reply = self._reply_cache
+            if reply is None:
+                reply = self._reply_cache = {
+                    "state": self._observable_state(),
+                    "seq": self._push_seq,
+                }
+            return reply
         return {
             **self._observable_state(),
             "current_idle": self.station.current_idle_seconds(),
-            "seq": self._push_seq,
         }
 
     def submit_gang(self, gang):

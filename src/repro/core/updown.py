@@ -129,6 +129,26 @@ class UpDownPolicy:
             index[name] += self.up_rate * held * dt_minutes
             self._synced[name] = cycle
 
+    def aggregate_pressure(self, names):
+        """Total deprivation across ``names`` (federation advertisement).
+
+        A station's *pressure* is how far its schedule index has fallen
+        below zero — i.e. how long it has wanted capacity and been
+        denied.  Pools advertise the sum so the matchmaker serves the
+        most-deprived pool first, extending Up-Down fairness across pool
+        boundaries: machines a borrower holds through a lease charge the
+        borrower's index exactly as local holdings do, so a pool cannot
+        borrow its way past the fair-share accounting.  Callers pass
+        ``names`` in a deterministic order (float addition is not
+        associative).
+        """
+        total = 0.0
+        for name in names:
+            index = self.index(name)
+            if index < 0.0:
+                total -= index
+        return total
+
     def rank_requesters(self, requesters):
         """Order stations wanting capacity, most-deprived (lowest index)
         first; name breaks ties deterministically."""

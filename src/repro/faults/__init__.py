@@ -13,6 +13,7 @@ from repro.faults.schedule import (
     ChaosSchedule,
     CrashCoordinator,
     CrashMidTransfer,
+    CrashPoolCoordinator,
     CrashStation,
     FaultAction,
     LossBurst,
@@ -33,6 +34,7 @@ __all__ = [
     "CrashCoordinator",
     "CrashInjector",
     "CrashMidTransfer",
+    "CrashPoolCoordinator",
     "CrashStation",
     "DiskFail",
     "DiskPressure",

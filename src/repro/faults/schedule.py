@@ -106,6 +106,52 @@ class CrashCoordinator(FaultAction):
         return {"failover_to": self.failover_to or ""}
 
 
+class CrashPoolCoordinator(FaultAction):
+    """Kill one *pool* coordinator in a federated run; restart after
+    ``duration``.
+
+    Exercises the federation crash story: a crashed **lender** keeps its
+    on-loan book and its reclaim timers re-arm until it is back; a
+    crashed **borrower** rebuilds its view by probing and sends
+    state-less returns for everything it was borrowing, while the
+    lender's reclaim backstop covers returns lost in flight.  With
+    ``failover_to`` the restart moves to that station (which must belong
+    to the pool); otherwise the coordinator reboots in place.
+    """
+
+    kind = "pool_coordinator_crash"
+
+    def __init__(self, pool, at, duration, failover_to=None):
+        if duration is None:
+            raise SimulationError("CrashPoolCoordinator needs a duration")
+        if pool < 0:
+            raise SimulationError(f"bad pool index {pool}")
+        super().__init__(at, duration)
+        self.pool = int(pool)
+        self.failover_to = failover_to
+
+    def _coordinator(self, ctx):
+        coordinators = ctx.system.coordinators
+        if self.pool >= len(coordinators):
+            raise SimulationError(
+                f"pool {self.pool} out of range: the system has "
+                f"{len(coordinators)} pool coordinator(s)")
+        return coordinators[self.pool]
+
+    def inject(self, ctx):
+        self._coordinator(ctx).crash()
+
+    def clear(self, ctx):
+        coordinator = self._coordinator(ctx)
+        station = (ctx.system.stations[self.failover_to]
+                   if self.failover_to is not None
+                   else coordinator.host_station)
+        coordinator.recover_at(station)
+
+    def describe(self):
+        return {"pool": self.pool, "failover_to": self.failover_to or ""}
+
+
 class Partition(FaultAction):
     """Cut ``island`` off from the rest of the LAN; heal after ``duration``."""
 

@@ -31,6 +31,9 @@ DEFAULT_HOUR_WEIGHTS = (
 #: Saturday/Sunday intensity multiplier.
 DEFAULT_WEEKEND_FACTOR = 0.25
 
+#: Shared hour-of-week rate tables (see :class:`DiurnalOwner`).
+_WEEK_RATES = {}
+
 
 class OwnerActivityModel:
     """Base class: drives a station's owner between active and away."""
@@ -140,12 +143,19 @@ class DiurnalOwner(OwnerActivityModel):
         )
         #: Session-start rate per hour-of-week (168 entries), so the
         #: inversion sampler in :meth:`run` never recomputes weights.
+        #: Memoized across instances: busyness comes from a small
+        #: discrete mix, so a 50k-station cluster builds a handful of
+        #: distinct tables instead of 50k x 168 entries at startup.
         base = self.busyness * self.base_sessions_per_day / DAY
-        self._week_rates = tuple(
-            base * self.hour_weights[hour % 24]
-            * (self.weekend_factor if hour // 24 >= 5 else 1.0)
-            for hour in range(168)
-        )
+        key = (base, self.hour_weights, self.weekend_factor)
+        rates = _WEEK_RATES.get(key)
+        if rates is None:
+            rates = _WEEK_RATES[key] = tuple(
+                base * self.hour_weights[hour % 24]
+                * (self.weekend_factor if hour // 24 >= 5 else 1.0)
+                for hour in range(168)
+            )
+        self._week_rates = rates
 
     def rate(self, t):
         """Instantaneous session-start rate (starts per second) at time t."""

@@ -30,6 +30,12 @@ class HourlyAccumulator:
             return
         first = int(math.floor(t0 / HOUR))
         last = int(math.floor((t1 - 1e-12) / HOUR))
+        if first == last:
+            # Single-bucket fast path: the hourly daemon charges (the
+            # bulk of all entries at 50k stations) land here.
+            buckets = self._buckets
+            buckets[first] = buckets.get(first, 0.0) + (t1 - t0) * weight
+            return
         for hour in range(first, last + 1):
             lo = max(t0, hour * HOUR)
             hi = min(t1, (hour + 1) * HOUR)

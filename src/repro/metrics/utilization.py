@@ -52,6 +52,10 @@ class UtilizationMonitor:
     def __init__(self, stations, hub=None):
         self.stations = list(stations)
         self.accumulators = {group: HourlyAccumulator() for group in GROUPS}
+        #: category -> accumulator, flattened so the per-entry hot path
+        #: (millions of calls in a 50k-station day) does one lookup.
+        self._acc_of = {category: self.accumulators[group]
+                        for category, group in GROUP_OF.items()}
         if hub is not None:
             self._station_names = {s.name for s in self.stations}
             hub.subscribe(LEDGER_ENTRY, self._on_ledger_event)
@@ -67,8 +71,7 @@ class UtilizationMonitor:
                        payload["fraction"])
 
     def _on_entry(self, category, t0, t1, fraction):
-        group = GROUP_OF[category]
-        self.accumulators[group].add_interval(t0, t1, fraction)
+        self._acc_of[category].add_interval(t0, t1, fraction)
 
     # ------------------------------------------------------------------
     # series (fractions of total cluster capacity per hour)

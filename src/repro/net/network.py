@@ -60,9 +60,10 @@ class Node:
 
     def handle(self, op, payload):
         """Dispatch an incoming message (called by the network)."""
-        if op not in self._handlers:
+        handler = self._handlers.get(op)
+        if handler is None:
             raise SimulationError(f"node {self.name}: no handler for {op!r}")
-        return self._handlers[op](payload)
+        return handler(payload)
 
     def __repr__(self):
         state = "crashed" if self.crashed else "up"
@@ -448,17 +449,23 @@ class Network:
             ticket = RpcTicket(self, dst_name, op, self.sim.now)
             self._outstanding[ticket] = True
         settled = False
-        timeout_handle = None
+        deadline = None if timeout is None else self.sim.now + timeout
 
         def settle(outcome):
             nonlocal settled
             if not settled:
                 settled = True
-                if timeout_handle is not None:
-                    timeout_handle.cancel()
                 if ticket is not None:
                     ticket._settle()
                 settle_cb(outcome)
+
+        def settle_late():
+            # No ack is coming: surface the timeout at the exact instant
+            # the eager deadline timer used to fire.  Scheduling it only
+            # on the failure branches keeps the overwhelmingly common
+            # healthy exchange at two agenda events instead of three.
+            self.sim.schedule(max(0.0, deadline - self.sim.now), settle,
+                              ("timeout", None))
 
         self.messages_sent += 1
         request_lost = (not self._reachable(src, dst_name)
@@ -468,18 +475,25 @@ class Network:
 
         def deliver_request():
             if dst.crashed or request_lost:
+                if deadline is not None:
+                    settle_late()
                 return
             response = dst.handle(op, payload)
             self.messages_sent += 1
             if not self._reachable(dst_name, src) or self._lost_from(dst_name):
                 self.messages_dropped += 1
+                if deadline is not None:
+                    settle_late()
                 return
-            self._schedule_net(self._delay(), settle, src, ("ok", response))
+            delay = self._delay()
+            if deadline is not None and self.sim.now + delay >= deadline:
+                # The reply would land past the deadline; the timer wins
+                # (ties included — the eager timer's earlier seq won).
+                settle_late()
+                return
+            self._schedule_net(delay, settle, src, ("ok", response))
 
         self._schedule_net(self._delay(), deliver_request, dst_name)
-        if timeout is not None:
-            timeout_handle = self.sim.schedule(timeout, settle,
-                                               ("timeout", None))
         return result if callback is None else ticket
 
     def rpc_batch(self, targets, op, payload=None, callback=None, src=None):

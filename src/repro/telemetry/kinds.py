@@ -77,6 +77,29 @@ STORAGE_KINDS = (
     CHECKPOINT_RESTORE_FALLBACK,
 )
 
+# -- federation (coordinator_mode="federated") --------------------------
+#: A pool coordinator advertised (surplus, need, pressure) to the
+#: matchmaker.  Sent only when the advertised tuple changed, so a quiet
+#: federation is silent.
+POOL_ADVERT = "pool_advert"
+#: The matchmaker brokered a lease and the lending pool shipped the
+#: stations to the borrower.
+CROSS_POOL_LEASE_GRANTED = "cross_pool_lease_granted"
+#: The borrower returned a leased station (owner came back, the
+#: borrower's own backlog drained, the lease ran out, or the borrowing
+#: coordinator recovered from a crash and forgot the loan).
+CROSS_POOL_LEASE_RETURNED = "cross_pool_lease_returned"
+#: The lender's reclaim timer fired with the loan still outstanding
+#: (borrower crashed or its return message is lost): the lender takes
+#: the station back unilaterally.
+CROSS_POOL_LEASE_EXPIRED = "cross_pool_lease_expired"
+
+#: Federation vocabulary (federated traces add these).
+FEDERATION_KINDS = (
+    POOL_ADVERT, CROSS_POOL_LEASE_GRANTED, CROSS_POOL_LEASE_RETURNED,
+    CROSS_POOL_LEASE_EXPIRED,
+)
+
 # -- machine substrate --------------------------------------------------
 #: One CPU-attribution ledger entry (category, interval, fraction).
 LEDGER_ENTRY = "ledger_entry"
@@ -100,6 +123,6 @@ JOB_LIFECYCLE = (
 #: Checkpoint-bearing events (Fig. 8's numerator, trace replay's count).
 CHECKPOINT_KINDS = (JOB_VACATED, JOB_PERIODIC_CHECKPOINT)
 
-ALL_KINDS = JOB_LIFECYCLE + FAULT_KINDS + STORAGE_KINDS + (
+ALL_KINDS = JOB_LIFECYCLE + FAULT_KINDS + STORAGE_KINDS + FEDERATION_KINDS + (
     LEDGER_ENTRY, OWNER_ARRIVED, OWNER_DEPARTED, TELEMETRY_ERROR,
 )

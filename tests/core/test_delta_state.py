@@ -36,12 +36,11 @@ def submit(system, n=1, demand=10 * HOUR):
     return jobs
 
 
-def state(seq=1, idle=True, hosting=None, pending=0, epoch=0, free=100.0):
+def state(idle=True, hosting=None, pending=0, epoch=0, free=100.0):
     return {
         "idle": idle, "hosting_home": hosting, "pending": pending,
         "free_mb": free, "mean_idle": None, "idle_since": 0.0,
         "boot_epoch": epoch, "arch": "vax", "pending_gangs": [],
-        "seq": seq,
     }
 
 
@@ -60,29 +59,29 @@ class TestClusterView:
         for name in ("b", "c", "a"):
             view.apply(name, state())
         assert view.idle_hosts() == ["c", "a", "b"]
-        view.apply("c", state(seq=2, idle=False))
+        view.apply("c", state(idle=False), seq=2)
         assert view.idle_hosts() == ["a", "b"]
 
     def test_stale_seq_rejected(self):
         view = ClusterView(["a"])
-        assert view.apply("a", state(seq=5, pending=3))
-        assert not view.apply("a", state(seq=4, pending=0))
+        assert view.apply("a", state(pending=3), seq=5)
+        assert not view.apply("a", state(pending=0), seq=4)
         assert view.states["a"]["pending"] == 3
         assert view.wanting == {"a"}
 
     def test_held_counts_and_hosting_tracked(self):
         view = ClusterView(["a", "b", "c"])
-        view.apply("a", state(seq=1, hosting="c", idle=False))
-        view.apply("b", state(seq=1, hosting="c", idle=False))
+        view.apply("a", state(hosting="c", idle=False), seq=1)
+        view.apply("b", state(hosting="c", idle=False), seq=1)
         assert view.held_counts == {"c": 2}
         assert view.hosting == {"a": "c", "b": "c"}
-        view.apply("a", state(seq=2))
+        view.apply("a", state(), seq=2)
         assert view.held_counts == {"c": 1}
         assert view.hosting == {"b": "c"}
 
     def test_quarantine_drops_derived_state(self):
         view = ClusterView(["a"])
-        view.apply("a", state(seq=1, pending=2))
+        view.apply("a", state(pending=2), seq=1)
         view.quarantine("a")
         assert view.wanting == set()
         assert view.idle_hosts() == []
@@ -91,31 +90,31 @@ class TestClusterView:
 
     def test_reply_readmits_quarantined(self):
         view = ClusterView(["a"])
-        view.apply("a", state(seq=1))
+        view.apply("a", state(), seq=1)
         view.quarantine("a")
-        assert view.apply("a", state(seq=2), from_reply=True)
+        assert view.apply("a", state(), seq=2, from_reply=True)
         assert "a" not in view.quarantined
         assert view.idle_hosts() == ["a"]
 
     def test_push_with_same_epoch_cannot_readmit(self):
         view = ClusterView(["a"])
-        view.apply("a", state(seq=1, epoch=0))
+        view.apply("a", state(epoch=0), seq=1)
         view.quarantine("a")
-        assert not view.apply("a", state(seq=2, epoch=0))
+        assert not view.apply("a", state(epoch=0), seq=2)
         assert "a" in view.quarantined
         assert view.idle_hosts() == []
 
     def test_push_with_newer_epoch_readmits(self):
         view = ClusterView(["a"])
-        view.apply("a", state(seq=1, epoch=0))
+        view.apply("a", state(epoch=0), seq=1)
         view.quarantine("a")
-        assert view.apply("a", state(seq=2, epoch=1))
+        assert view.apply("a", state(epoch=1), seq=2)
         assert "a" not in view.quarantined
         assert view.idle_hosts() == ["a"]
 
     def test_reset_forgets_everything(self):
         view = ClusterView(["a", "b"])
-        view.apply("a", state(seq=3, hosting="b", idle=False))
+        view.apply("a", state(hosting="b", idle=False), seq=3)
         view.quarantine("b")
         view.reset()
         assert not view.known("a")
@@ -201,12 +200,14 @@ class TestStaleUpdateAfterUnreachable:
         coordinator = system.coordinator
         dead = system.scheduler("h0")
         ghost = {**dead._observable_state(), "hosting_home": None,
-                 "idle": True, "seq": dead._push_seq + 1}
+                 "idle": True}
+        ghost_seq = dead._push_seq + 1
         dead.crash()
         sim.run(until=1200.0)
         assert "h0" in coordinator.view.quarantined
         # The delayed pre-crash push finally arrives.
-        coordinator._handle_state_update({"station": "h0", "state": ghost})
+        coordinator._handle_state_update(
+            {"station": "h0", "state": ghost, "seq": ghost_seq})
         assert "h0" in coordinator.view.quarantined
         assert coordinator.view.idle_hosts() == []
         grants_before = coordinator.grants_issued
