@@ -41,10 +41,17 @@ ABLATIONS = {
 
 
 def _shard_profile(args, scenario=None):
-    from repro.analysis.shardrun import ShardProfile
+    from repro.analysis.shardrun import (
+        SHARD_SCENARIO_PROFILES,
+        ShardProfile,
+    )
 
+    overrides = dict(SHARD_SCENARIO_PROFILES.get(scenario, {}))
+    pools = getattr(args, "pools", 0) or overrides.get("pools", 0)
     return ShardProfile(seed=args.seed, days=args.days,
                         stations=args.stations, cells=args.cells,
+                        pools=pools,
+                        quiet_cells=overrides.get("quiet_cells", 0),
                         scenario=scenario)
 
 
@@ -52,10 +59,15 @@ def _cmd_month_sharded(args):
     import json as _json
 
     from repro.analysis.shardrun import run_sharded
+    from repro.sim import SimulationError
     from repro.telemetry import summarize_trace
 
     start = time.time()
-    result = run_sharded(_shard_profile(args), shards=args.shards)
+    try:
+        result = run_sharded(_shard_profile(args), shards=args.shards)
+    except SimulationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     elapsed = time.time() - start
     if args.trace:
         with open(args.trace, "w", encoding="utf-8", newline="\n") as fh:
@@ -79,7 +91,9 @@ def _cmd_month_sharded(args):
             ("hours of owner activity", f"{head['local_hours']:.1f}"),
         ],
         title=f"Space-parallel run: {args.stations} stations, "
-              f"{args.cells} cells, {args.shards} shards",
+              f"{args.cells} cells, "
+              + (f"{args.pools} pools, " if args.pools else "")
+              + f"{args.shards} shards",
     ))
     return 0
 
@@ -220,11 +234,22 @@ def _cmd_sweep(args):
     from repro.analysis.sweep import sweep_seeds
 
     seeds = _parse_seeds(args.seeds)
+    if args.pools and not args.shards:
+        print("error: sweep --pools requires --shards (the single-process"
+              " sweep has no federated profile; use 'month --pools')",
+              file=sys.stderr)
+        return 2
     if args.trace_dir:
         os.makedirs(args.trace_dir, exist_ok=True)
     start = time.time()
     if args.shards:
-        results = _sweep_sharded(args, seeds)
+        from repro.sim import SimulationError
+
+        try:
+            results = _sweep_sharded(args, seeds)
+        except SimulationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         workers = f"{args.shards} shard(s)"
     else:
         results = sweep_seeds(
@@ -316,6 +341,11 @@ def _cmd_chaos_sharded(args):
 def _cmd_chaos(args):
     if args.shards:
         return _cmd_chaos_sharded(args)
+    if args.pools:
+        print("error: chaos --pools requires --shards (single-process "
+              "federation schedules set their own pool counts; see "
+              "'chaos pool-coordinator-crash')", file=sys.stderr)
+        return 2
     from repro.analysis.chaos import (
         SCHEDULES,
         SUITES,
@@ -440,7 +470,9 @@ def build_parser():
                        help="record the telemetry event stream as JSONL")
     month.add_argument("--pools", type=int, default=0, metavar="K",
                        help="federate the coordinator into K pools "
-                            "(flocking; K=1 is byte-identical to delta)")
+                            "(flocking; K=1 is byte-identical to delta; "
+                            "combines with --shards: each pool "
+                            "coordinator runs inside its home shard)")
     month.add_argument("--shards", type=int, default=0, metavar="K",
                        help="run the space-parallel cell profile across "
                             "K shard processes (see DESIGN.md)")
@@ -499,6 +531,9 @@ def build_parser():
                             "K shard processes per run")
     sweep.add_argument("--cells", type=int, default=4,
                        help="placement cells (sharded runs only)")
+    sweep.add_argument("--pools", type=int, default=0, metavar="K",
+                       help="federate the sharded profile into K pools "
+                            "(requires --shards)")
     sweep.set_defaults(fn=_cmd_sweep)
 
     from repro.analysis.chaos import SCHEDULES as _CHAOS_SCHEDULES
@@ -528,6 +563,10 @@ def build_parser():
                        help="stations (sharded scenarios only)")
     chaos.add_argument("--cells", type=int, default=4,
                        help="placement cells (sharded scenarios only)")
+    chaos.add_argument("--pools", type=int, default=0, metavar="K",
+                       help="federate the sharded scenarios into K pools "
+                            "(requires --shards; federation scenarios "
+                            "default to their own pool counts)")
     chaos.set_defaults(fn=_cmd_chaos)
 
     demo = sub.add_parser("demo", help="narrated five-station demo")

@@ -51,6 +51,15 @@ forgets its loans on recovery and sends each lender a state-less
 backstopped by a reclaim timer at ``expiry + federation_reclaim_grace``
 that takes unreturned stations back unilaterally and publishes
 ``cross_pool_lease_expired``.
+
+Federation composes with the space-parallel kernel
+(:mod:`repro.analysis.shardrun`): because pools are unions of cells and
+shards are unions of pools, each :class:`PoolCoordinator` can run inside
+its pool's home shard worker (the :class:`Matchmaker` on rank 0) with
+all O(N) coordination shard-local; only the advert/lease control plane
+above — scalar payloads end to end — crosses shard boundaries, so the
+protocol needs no shard awareness and the merged trace stays
+byte-identical to the single-process federated run.
 """
 
 from repro.core import events as ev

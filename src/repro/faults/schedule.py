@@ -131,12 +131,17 @@ class CrashPoolCoordinator(FaultAction):
         self.failover_to = failover_to
 
     def _coordinator(self, ctx):
+        # ``coordinators`` is a list on a CondorSystem and a rank-local
+        # {pool index: coordinator} dict on a ShardSystem (each pool
+        # coordinator lives on its pool's home shard).
         coordinators = ctx.system.coordinators
-        if self.pool >= len(coordinators):
+        try:
+            return coordinators[self.pool]
+        except (IndexError, KeyError):
             raise SimulationError(
-                f"pool {self.pool} out of range: the system has "
-                f"{len(coordinators)} pool coordinator(s)")
-        return coordinators[self.pool]
+                f"pool {self.pool}'s coordinator is not here: this "
+                f"system holds {len(coordinators)} pool coordinator(s)"
+            ) from None
 
     def inject(self, ctx):
         self._coordinator(ctx).crash()

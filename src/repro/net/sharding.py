@@ -31,6 +31,15 @@ owning shard at delivery time, and bulk transfers — which hold NIC
 reservations on both endpoints — must stay shard-local; the placement
 cells enforced by the coordinator guarantee that, and a cross-shard
 ``transfer()`` raises loudly rather than silently desynchronising.
+
+Federated runs put more endpoints than stations in the ownership map:
+each pool coordinator is owned by its pool's home shard and the
+matchmaker by rank 0, so advert/lease RPCs (and a borrowed station's
+pushes to its temporary foreign coordinator) ride the same descriptor
+path.  Nothing here is federation-specific — lease traffic is scalar
+request/reply like any other, retries replay on the sender's
+``retry.{name}`` stream, and the cell constraint still keeps every job
+body shard-local because leased stations keep their home cells.
 """
 
 from repro.net.network import Network, RpcTicket

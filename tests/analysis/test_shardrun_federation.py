@@ -1,0 +1,168 @@
+"""Golden tests for federation composed with the space-parallel kernel.
+
+The contract: a federated :class:`ShardProfile` (``pools=K``) produces a
+**byte-identical** merged trace no matter how many shard processes ran
+it — each pool coordinator executes inside its pool's home shard, the
+matchmaker on rank 0, and only the lease control plane crosses shard
+boundaries.  These tests pin the identity down for K=1 (the degenerate
+single-pool build, byte-identical to the classic coordinator) and K=4,
+exercise a full cross-shard lease lifecycle (grant, pushes, probes,
+expiry/return), and run the federation chaos scenarios under shards.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.analysis.shardrun import (
+    SHARD_SCENARIOS,
+    ShardProfile,
+    run_reference,
+    run_sharded,
+    shard_of_pool,
+)
+from repro.sim import SimulationError
+
+
+def _sha(trace_lines):
+    digest = hashlib.sha256()
+    for line in trace_lines:
+        digest.update(line.encode())
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def _kinds(trace_lines):
+    return {line.split('"kind":"', 1)[1].split('"', 1)[0]
+            for line in trace_lines}
+
+
+#: 8 stations, 4 cells, one pool per cell — every pool has its own shard
+#: at shards=4, and pools pair up two-per-shard at shards=2.
+_K4 = dict(seed=11, days=0.5, stations=8, cells=4, pools=4)
+
+#: Two pools, two quiet cells: pool 1 advertises pure surplus, pool 0
+#: borrows — the asymmetry that makes cross-pool leases flow.
+_LEASE = dict(seed=11, days=0.5, stations=8, cells=4, pools=2,
+              quiet_cells=2)
+
+
+def test_federated_k4_trace_identical_across_shard_counts():
+    reference = run_reference(ShardProfile(**_K4))
+    assert reference["trace"], "reference produced an empty trace"
+    want = _sha(reference["trace"])
+    for shards in (1, 2, 4):
+        result = run_sharded(ShardProfile(**_K4), shards=shards)
+        assert _sha(result["trace"]) == want, (
+            f"{shards}-shard federated trace diverged from the serial "
+            f"reference")
+        assert result["jobs_submitted"] == reference["jobs_submitted"]
+        assert result["jobs_completed"] == reference["jobs_completed"]
+    assert result["windows"] > 0
+    # Pool coordinators live on ranks 1..3 at shards=4: at minimum their
+    # adverts to the rank-0 matchmaker cross the cut.
+    assert result["descriptors_routed"] > 0
+
+
+def test_federated_k1_degenerates_to_the_classic_build():
+    base = dict(seed=11, days=0.25, stations=8, cells=4)
+    classic = run_reference(ShardProfile(**base, pools=0))
+    single = run_reference(ShardProfile(**base, pools=1))
+    assert single["trace"] == classic["trace"], (
+        "pools=1 must be byte-identical to the classic coordinator")
+    want = _sha(classic["trace"])
+    for shards in (1, 2, 4):
+        result = run_sharded(ShardProfile(**base, pools=1), shards=shards)
+        assert _sha(result["trace"]) == want
+
+
+def test_cross_shard_lease_lifecycle():
+    reference = run_reference(ShardProfile(**_LEASE))
+    kinds = _kinds(reference["trace"])
+    assert "cross_pool_lease_granted" in kinds, "no lease ever flowed"
+    assert "cross_pool_lease_returned" in kinds, "no lease ever ended"
+    assert "pool_advert" in kinds
+    want = _sha(reference["trace"])
+    # At shards=2 the lender pool (1) and the borrower pool (0) live on
+    # different ranks: the grant, the rehome pointers, the borrowed
+    # stations' pushes/probes and the returns all cross the cut.
+    result = run_sharded(ShardProfile(**_LEASE), shards=2)
+    assert _sha(result["trace"]) == want
+    assert result["descriptors_routed"] > 0
+
+
+def test_lease_expiry_preempts_and_returns():
+    # A long horizon crosses several federation_lease_duration windows,
+    # so expiry-driven returns must appear alongside demand-driven ones.
+    spec = dict(_LEASE, days=1.0)
+    reference = run_reference(ShardProfile(**spec))
+    returns = [json.loads(line) for line in reference["trace"]
+               if '"kind":"cross_pool_lease_returned"' in line]
+    assert returns, "no lease was ever returned"
+    reasons = {record["payload"]["reason"] for record in returns}
+    assert "lease_expired" in reasons or "owner_return" in reasons
+    sharded = run_sharded(ShardProfile(**spec), shards=2)
+    assert sharded["trace"] == reference["trace"]
+
+
+def test_matchmaker_partition_scenario_sharded():
+    spec = dict(seed=23, days=1.0, stations=8, cells=4, pools=2,
+                quiet_cells=2, scenario="matchmaker-partition")
+    reference = run_reference(ShardProfile(**spec))
+    kinds = _kinds(reference["trace"])
+    assert "fault_injected" in kinds, "partition never fired"
+    assert "cross_pool_lease_granted" in kinds
+    sharded = run_sharded(ShardProfile(**spec), shards=2)
+    assert sharded["trace"] == reference["trace"]
+    replay = run_sharded(ShardProfile(**spec), shards=2)
+    assert replay["trace"] == sharded["trace"]
+
+
+def test_pool_coordinator_crash_scenario_sharded():
+    # Satellite of PR 8: the PR-7 federation crash scenario under
+    # --shards 2 — zero lost jobs (NoLostJobsChecker runs inside each
+    # shard's finalize) and byte-identical replay.
+    spec = dict(seed=23, days=1.0, stations=8, cells=4, pools=2,
+                quiet_cells=2, scenario="pool-crash")
+    reference = run_reference(ShardProfile(**spec))
+    kinds = _kinds(reference["trace"])
+    assert "fault_injected" in kinds, "no pool coordinator ever crashed"
+    assert "cross_pool_lease_granted" in kinds
+    sharded = run_sharded(ShardProfile(**spec), shards=2)
+    assert sharded["trace"] == reference["trace"]
+    replay = run_sharded(ShardProfile(**spec), shards=2)
+    assert replay["trace"] == sharded["trace"]
+
+
+def test_shard_of_pool_is_contiguous_and_total():
+    for pools in (2, 3, 4, 10):
+        for shards in range(1, pools + 1):
+            ranks = [shard_of_pool(p, pools, shards)
+                     for p in range(pools)]
+            assert ranks == sorted(ranks)
+            assert set(ranks) == set(range(shards))
+
+
+def test_more_shards_than_pools_rejected():
+    with pytest.raises(SimulationError, match="pool never straddles"):
+        run_sharded(
+            ShardProfile(seed=1, days=0.1, stations=8, cells=4, pools=2),
+            shards=4)
+
+
+def test_profile_rejects_more_pools_than_cells():
+    with pytest.raises(SimulationError, match="cell never straddles"):
+        ShardProfile(seed=1, days=0.1, stations=8, cells=2, pools=4)
+
+
+def test_federation_scenarios_registered():
+    assert "pool-crash" in SHARD_SCENARIOS
+    assert "matchmaker-partition" in SHARD_SCENARIOS
+
+
+def test_federation_scenarios_require_pools():
+    spec = ShardProfile(seed=1, days=1.0, stations=8, cells=4,
+                        scenario="pool-crash")
+    with pytest.raises(SimulationError, match="pools >= 2"):
+        run_reference(spec)
