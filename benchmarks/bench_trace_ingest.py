@@ -1,0 +1,72 @@
+"""Ingest throughput of the sqlite ops plane on the month trace.
+
+The ops store pays its cost once at ingest; every later query is a
+sqlite read.  This bench records the full one-month trace (~80k events,
+~17 MB JSONL) and measures:
+
+* parse+ingest from the JSONL file into a fresh on-disk store;
+* ingest alone (pre-parsed records) into a fresh in-memory store;
+* the no-op re-ingest of an already-current store (the cursor path).
+"""
+
+import pytest
+
+from repro.analysis.experiment import ExperimentRun
+from repro.core.job import reset_job_ids
+from repro.metrics.report import render_table
+from repro.telemetry import read_trace
+from repro.telemetry.store import TraceStore
+
+
+@pytest.fixture(scope="module")
+def month_trace(tmp_path_factory):
+    path = tmp_path_factory.mktemp("ingest") / "month.jsonl"
+    reset_job_ids()
+    ExperimentRun(seed=42, days=30, trace_path=str(path)).execute()
+    return path
+
+
+@pytest.fixture(scope="module")
+def month_records(month_trace):
+    return list(read_trace(month_trace))
+
+
+def test_ingest_file_throughput(benchmark, month_trace, tmp_path, show):
+    counter = iter(range(1_000_000))
+
+    def ingest():
+        db = tmp_path / f"file-{next(counter)}.sqlite"
+        with TraceStore(str(db)) as store:
+            return store.ingest_file(str(month_trace))
+
+    events = benchmark(ingest)
+    assert events > 50_000
+    rate = events / benchmark.stats.stats.mean
+    show("trace_ingest", render_table(
+        ["metric", "value"],
+        [("events", events),
+         ("mean ingest (s)", f"{benchmark.stats.stats.mean:.3f}"),
+         ("events/s (parse+ingest, disk)", f"{rate:,.0f}")],
+        title="Ops-plane ingest throughput: one-month JSONL trace",
+    ))
+
+
+def test_ingest_records_throughput(benchmark, month_records):
+    def ingest():
+        with TraceStore(":memory:") as store:
+            return store.ingest(iter(month_records))
+
+    events = benchmark(ingest)
+    assert events == len(month_records)
+
+
+def test_reingest_noop_cost(benchmark, month_records, tmp_path):
+    db = tmp_path / "current.sqlite"
+    with TraceStore(str(db)) as store:
+        store.ingest(iter(month_records))
+
+    def reingest():
+        with TraceStore(str(db)) as store:
+            return store.ingest(iter(month_records))
+
+    assert benchmark(reingest) == 0

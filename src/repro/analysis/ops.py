@@ -1,0 +1,227 @@
+"""Canned operational reports over an ingested trace store.
+
+The ``repro-condor query`` verb renders these.  Each report takes the
+open :class:`~repro.telemetry.store.TraceStore` plus the parsed CLI
+options and returns ``(headers, rows, title)`` ready for
+:func:`repro.metrics.report.render_table` — the raw SQL escape hatch is
+:meth:`TraceStore.query` itself.
+
+The reports answer the questions the related work says operators
+actually ask (ConGUSTo's monitoring surface, Robinson & DeWitt's
+cluster-state queries): who is getting served (fair share), what did the
+storage layer lose (checkpoint audit), where did the cycles go
+(utilization heatmap), and what happened during an incident (timeline).
+"""
+
+from repro.sim.errors import SimulationError
+
+_HOUR = 3600.0
+_DAY = 24 * _HOUR
+
+
+def _hours(seconds):
+    return (seconds or 0.0) / _HOUR
+
+
+def report_summary(store, args=None):
+    """The replay path's headline scalars, straight from the tables."""
+    head = store.summary().headline()
+    rows = [
+        ("events", head["events"]),
+        ("simulated days", f"{head['end_time_days']:.1f}"),
+        ("jobs submitted", head["jobs_submitted"]),
+        ("jobs completed", head["jobs_completed"]),
+        ("checkpoints taken", head["checkpoints"]),
+        ("total demand (h)", head["total_demand_hours"]),
+        ("hours consumed by Condor", head["remote_hours"]),
+        ("hours of owner activity", head["local_hours"]),
+        ("support hours (placement+ckpt+syscall)", head["support_hours"]),
+    ]
+    return (["metric", "value"], rows,
+            "Headline metrics from the ops store (== trace replay)")
+
+
+def report_fair_share(store, args=None):
+    """Per-user service history — the Up-Down schedule's outcome.
+
+    With ``--by-day``, rows become one per (user, day): the submit /
+    complete history that shows *when* each user was served, i.e. how
+    the fair-share schedule moved allocation between them over time.
+    """
+    if args is not None and getattr(args, "by_day", False):
+        _cols, rows = store.query(
+            "SELECT user, CAST(submitted_t / ? AS INTEGER) AS day, "
+            "COUNT(*), SUM(demand_seconds) FROM jobs "
+            "WHERE submitted_t IS NOT NULL GROUP BY user, day "
+            "ORDER BY user, day", (_DAY,))
+        completed = dict(
+            ((user, day), count) for user, day, count in store.query(
+                "SELECT user, CAST(completed_t / ? AS INTEGER), COUNT(*) "
+                "FROM jobs WHERE completed_t IS NOT NULL "
+                "GROUP BY 1, 2", (_DAY,))[1])
+        table = [(user, day, count, completed.get((user, day), 0),
+                  _hours(demand))
+                 for user, day, count, demand in rows]
+        return (["user", "day", "submitted", "completed", "demand h"],
+                table, "Per-user fair-share history (Up-Down view)")
+    _cols, rows = store.query(
+        "SELECT u.user, u.jobs_submitted, u.jobs_completed, "
+        "u.demand_seconds, "
+        "AVG(j.first_placed_t - j.submitted_t), "
+        "SUM(j.vacates + j.periodic_checkpoints) "
+        "FROM users u LEFT JOIN jobs j ON j.user = u.user "
+        "GROUP BY u.user ORDER BY u.id")
+    table = [
+        (user, submitted, completed or 0, _hours(demand),
+         _hours(wait) if wait is not None else None, checkpoints or 0)
+        for user, submitted, completed, demand, wait, checkpoints in rows
+    ]
+    return (["user", "submitted", "completed", "demand h",
+             "mean wait h", "ckpts"],
+            table, "Per-user fair share (Up-Down view)")
+
+
+def report_checkpoints(store, args=None):
+    """The checkpoint-loss audit: every job whose images were at risk."""
+    _cols, rows = store.query(
+        "SELECT key, user, status, vacates, periodic_checkpoints, "
+        "images_lost, torn_writes, restore_fallbacks FROM jobs "
+        "WHERE vacates + periodic_checkpoints + images_lost + "
+        "torn_writes + restore_fallbacks > 0 "
+        "ORDER BY images_lost + torn_writes + restore_fallbacks DESC, "
+        "vacates + periodic_checkpoints DESC, id")
+    limit = getattr(args, "limit", None) if args is not None else None
+    total = [("TOTAL", "-", "-",
+              sum(row[3] for row in rows), sum(row[4] for row in rows),
+              sum(row[5] for row in rows), sum(row[6] for row in rows),
+              sum(row[7] for row in rows))]
+    table = list(rows[:limit] if limit else rows) + total
+    return (["job", "user", "status", "vacate ckpts", "periodic",
+             "lost", "torn", "fallbacks"],
+            table, "Checkpoint-loss audit (stored vs lost images)")
+
+
+def report_utilization(store, args=None):
+    """Station × period CPU booking — heatmap feedstock.
+
+    Buckets are stored hourly at ingest; ``--bucket-hours`` (default 24)
+    re-aggregates to any coarser period at query time.
+    """
+    bucket_hours = (getattr(args, "bucket_hours", None)
+                    if args is not None else None)
+    per = max(1, int(round(bucket_hours or 24.0)))
+    _cols, rows = store.query(
+        "SELECT station, (bucket / ?) AS period, "
+        "SUM(CASE WHEN category = 'owner' THEN seconds ELSE 0 END), "
+        "SUM(CASE WHEN category = 'local_job' THEN seconds ELSE 0 END), "
+        "SUM(CASE WHEN category = 'remote_job' THEN seconds ELSE 0 END), "
+        "SUM(CASE WHEN category IN ('placement', 'checkpoint', "
+        "'syscall') THEN seconds ELSE 0 END), "
+        "SUM(seconds) FROM utilization "
+        "GROUP BY station, period ORDER BY station, period", (per,))
+    table = [
+        (station, period, _hours(owner), _hours(local), _hours(remote),
+         _hours(support), (busy or 0.0) / (per * _HOUR))
+        for station, period, owner, local, remote, support, busy in rows
+    ]
+    return (["station", "period", "owner h", "local h", "remote h",
+             "support h", "busy frac"],
+            table,
+            f"Utilization heatmap ({per} h buckets): "
+            "owner vs Condor vs support CPU")
+
+
+def report_timeline(store, args=None):
+    """Chaos-scenario incident timeline: every fault and recovery."""
+    limit = getattr(args, "limit", None) if args is not None else None
+    sql = ("SELECT seq, t, kind, fault, target, detail FROM faults "
+           "ORDER BY seq")
+    if limit:
+        sql += f" LIMIT {int(limit)}"
+    _cols, rows = store.query(sql)
+    table = [
+        (seq, f"{t / _DAY:.4f}", kind, fault or "-", target or "-",
+         detail if len(detail) <= 60 else detail[:57] + "...")
+        for seq, t, kind, fault, target, detail in rows
+    ]
+    return (["seq", "t (days)", "kind", "fault", "target", "detail"],
+            table, "Fault / recovery timeline")
+
+
+def report_leases(store, args=None):
+    """Cross-pool lease lifecycle (federated runs)."""
+    _cols, rows = store.query(
+        "SELECT lease_id, station, lender, borrower, granted_t, "
+        "returned_t, return_reason, expired_t FROM leases "
+        "ORDER BY granted_t, lease_id, station")
+    table = [
+        (lease, station, lender or "-", borrower or "-",
+         f"{granted / _DAY:.3f}" if granted is not None else "-",
+         f"{returned / _DAY:.3f}" if returned is not None else "-",
+         reason or "-",
+         f"{expired / _DAY:.3f}" if expired is not None else "-")
+        for lease, station, lender, borrower, granted, returned,
+        reason, expired in rows
+    ]
+    return (["lease", "station", "lender", "borrower", "granted d",
+             "returned d", "reason", "expired d"],
+            table, "Cross-pool leases (flocking)")
+
+
+def report_jobs(store, args=None):
+    """Per-job lifecycle ledger."""
+    user = getattr(args, "user", None) if args is not None else None
+    limit = getattr(args, "limit", None) if args is not None else None
+    sql = ("SELECT key, user, status, demand_seconds, submitted_t, "
+           "first_placed_t, completed_t, placements, vacates, "
+           "preemptions, kills FROM jobs")
+    params = ()
+    if user:
+        sql += " WHERE user = ?"
+        params = (user,)
+    sql += " ORDER BY id"
+    if limit:
+        sql += f" LIMIT {int(limit)}"
+    _cols, rows = store.query(sql, params)
+    table = [
+        (key, juser, status, _hours(demand),
+         f"{submitted / _DAY:.3f}" if submitted is not None else "-",
+         _hours(placed - submitted)
+         if placed is not None and submitted is not None else None,
+         f"{completed / _DAY:.3f}" if completed is not None else "-",
+         placements, vacates, preemptions, kills)
+        for key, juser, status, demand, submitted, placed, completed,
+        placements, vacates, preemptions, kills in rows
+    ]
+    return (["job", "user", "status", "demand h", "submit d", "wait h",
+             "done d", "places", "vacates", "preempts", "kills"],
+            table, "Job lifecycle ledger")
+
+
+def report_tables(store, args=None):
+    """Row counts per table (and the ingest cursor)."""
+    rows = sorted(store.row_counts().items())
+    rows.append(("(ingest cursor)", store.next_seq))
+    return (["table", "rows"], rows,
+            f"Ops store {store.path}")
+
+
+#: Report name -> callable(store, args) -> (headers, rows, title).
+REPORTS = {
+    "summary": report_summary,
+    "fair-share": report_fair_share,
+    "checkpoints": report_checkpoints,
+    "utilization": report_utilization,
+    "timeline": report_timeline,
+    "leases": report_leases,
+    "jobs": report_jobs,
+    "tables": report_tables,
+}
+
+
+def run_report(store, name, args=None):
+    """Dispatch one canned report by name."""
+    if name not in REPORTS:
+        known = ", ".join(sorted(REPORTS))
+        raise SimulationError(f"unknown report {name!r} (known: {known})")
+    return REPORTS[name](store, args)

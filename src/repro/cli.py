@@ -8,6 +8,9 @@ Subcommands:
 * ``trace``    — run the month and export its workload as a JSON trace;
 * ``replay``   — reconstruct a run's headline metrics from a telemetry
   trace alone, without re-simulating;
+* ``query``    — ingest a trace into the sqlite ops plane and run canned
+  reports (fair-share history, checkpoint audit, utilization heatmap,
+  fault timelines) or raw SQL over it;
 * ``sweep``    — run the experiment across a range of seeds, optionally
   fanned out over worker processes (``--jobs N``);
 * ``chaos``    — run seeded fault schedules (crashes, partitions, loss
@@ -198,6 +201,67 @@ def _cmd_replay(args):
         ["event kind", "count"], counts, title="Event counts",
     ))
     return 0
+
+
+def _cmd_query(args):
+    import json
+    import sqlite3
+
+    from repro.analysis.ops import run_report
+    from repro.sim import SimulationError
+    from repro.telemetry import replay_trace
+    from repro.telemetry.store import TraceStore
+
+    db = args.db or (f"{args.trace}.sqlite" if args.trace else None)
+    if db is None:
+        print("error: query needs --db FILE and/or --trace FILE",
+              file=sys.stderr)
+        return 2
+    if args.report == "sql" and not args.statement:
+        print("error: query sql needs a statement, e.g. "
+              "query sql 'SELECT kind, COUNT(*) FROM events GROUP BY 1'",
+              file=sys.stderr)
+        return 2
+    try:
+        store = TraceStore(db)
+    except (OSError, sqlite3.Error, SimulationError) as exc:
+        print(f"error: cannot open ops store {db}: {exc}",
+              file=sys.stderr)
+        return 2
+    try:
+        if args.trace:
+            added = store.ingest_file(args.trace)
+            print(f"# ingested {added:,} new events from {args.trace} "
+                  f"into {db} (cursor at seq {store.next_seq:,})")
+        if args.report == "sql":
+            columns, rows = store.query(args.statement)
+            print(render_table(columns or ["result"], rows,
+                               title=args.statement))
+            return 0
+        headers, rows, title = run_report(store, args.report, args)
+        print(render_table(headers, rows, title=title))
+        if args.report == "summary" and args.check_replay:
+            head = store.summary().headline()
+            replayed = replay_trace(args.check_replay).headline()
+            mismatched = sorted(
+                key for key in {**head, **replayed}
+                if head.get(key) != replayed.get(key))
+            if mismatched:
+                for key in mismatched:
+                    print(f"MISMATCH {key}: store={head.get(key)!r} "
+                          f"replay={replayed.get(key)!r}",
+                          file=sys.stderr)
+                return 1
+            print(f"\n# store summary matches replay of "
+                  f"{args.check_replay} bit-for-bit "
+                  f"({len(head)} scalars)")
+        return 0
+    except (OSError, sqlite3.Error, json.JSONDecodeError,
+            SimulationError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        store.close()
 
 
 def _parse_seeds(text):
@@ -510,6 +574,36 @@ def build_parser():
     )
     replay.add_argument("trace_file")
     replay.set_defaults(fn=_cmd_replay)
+
+    from repro.analysis.ops import REPORTS as _QUERY_REPORTS
+
+    query = sub.add_parser(
+        "query",
+        help="canned reports and raw SQL over an ingested trace "
+             "(the sqlite ops plane)",
+    )
+    query.add_argument("report",
+                       choices=sorted(_QUERY_REPORTS) + ["sql"],
+                       help="canned report, or 'sql' for raw SQL")
+    query.add_argument("statement", nargs="?",
+                       help="SQL text (report 'sql' only)")
+    query.add_argument("--db", metavar="FILE",
+                       help="ops store path (default: TRACE.sqlite)")
+    query.add_argument("--trace", metavar="FILE",
+                       help="ingest this JSONL trace before reporting "
+                            "(resumable; re-ingest is a no-op)")
+    query.add_argument("--check-replay", metavar="TRACE",
+                       help="with 'summary': verify every scalar "
+                            "matches replay_trace(TRACE) bit-for-bit")
+    query.add_argument("--by-day", action="store_true",
+                       help="fair-share: one row per user per day")
+    query.add_argument("--bucket-hours", type=float, default=24.0,
+                       help="utilization: aggregation period (hours)")
+    query.add_argument("--user", metavar="NAME",
+                       help="jobs: only this user's jobs")
+    query.add_argument("--limit", type=int, default=None,
+                       help="jobs/timeline/checkpoints: cap rows shown")
+    query.set_defaults(fn=_cmd_query)
 
     sweep = sub.add_parser(
         "sweep",

@@ -23,6 +23,10 @@ from repro.telemetry.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.telemetry.store import (
+    TraceStore,
+    ingest_trace,
+)
 from repro.telemetry.trace import (
     TraceRecorder,
     TraceSummary,
@@ -44,6 +48,8 @@ __all__ = [
     "Gauge",
     "Histogram",
     "TraceRecorder",
+    "TraceStore",
+    "ingest_trace",
     "TraceSummary",
     "encode_event",
     "jsonify",

@@ -138,19 +138,31 @@ class MetricsRegistry:
         return self._get(Histogram, name)
 
     def names(self):
-        return sorted(self._instruments)
+        with self._lock:
+            return sorted(self._instruments)
 
     def get(self, name):
         """The instrument registered under ``name``, or None."""
-        return self._instruments.get(name)
+        with self._lock:
+            return self._instruments.get(name)
 
     def snapshot(self):
-        """All instruments as plain dicts, sorted by name."""
-        return {name: self._instruments[name].snapshot()
-                for name in self.names()}
+        """All instruments as plain dicts, sorted by name.
+
+        The live runtime's worker threads create instruments on first
+        use, so the registry dict is copied under the lock and only then
+        serialized — iterating ``_instruments`` unlocked would race a
+        concurrent first-use insert (RuntimeError: dictionary changed
+        size during iteration).
+        """
+        with self._lock:
+            instruments = dict(self._instruments)
+        return {name: instruments[name].snapshot()
+                for name in sorted(instruments)}
 
     def __len__(self):
-        return len(self._instruments)
+        with self._lock:
+            return len(self._instruments)
 
     def __repr__(self):
-        return f"<MetricsRegistry {len(self._instruments)} instruments>"
+        return f"<MetricsRegistry {len(self)} instruments>"

@@ -1,0 +1,617 @@
+"""The sqlite-backed ops plane: a JSONL trace as a queryable database.
+
+Robinson & DeWitt's thesis — cluster management *is* data management —
+made operational here: :class:`TraceStore` incrementally ingests the
+deterministic JSONL trace (see :mod:`repro.telemetry.trace`) into
+normalized tables, so every operational question ("which user starved
+last week?", "which jobs lost checkpoints?", "how hot was pool 2 on
+Tuesday?") becomes a query instead of a re-simulation.
+
+Tables
+------
+``events``       every record verbatim: ``(seq, t, src, kind, payload)``
+                 with the payload re-encoded canonically;
+``event_counts`` per-kind totals (the replay summary's counters);
+``users``        per-user submit/complete/demand rollup, ordered by
+                 first appearance;
+``jobs``         one row per job with the full submit → place → vacate →
+                 complete lifecycle and every per-job fault counter;
+``ledger``       per-station per-category booked CPU seconds, folded in
+                 trace order so the doubles equal the live ledgers
+                 bit-for-bit;
+``utilization``  the same bookings split into hourly buckets — heatmap
+                 feedstock;
+``leases``       cross-pool lease lifecycle (granted / returned /
+                 expired), one row per leased station;
+``faults``       every fault/recovery/storage-fault event with its
+                 payload, for chaos-scenario timelines;
+``meta``         the ingest cursor and schema version.
+
+Ingest cursor
+-------------
+``meta['next_seq']`` records how far the store has read.  Ingest skips
+records with ``seq < next_seq`` (so re-ingesting the same trace — or the
+unchanged prefix of an extended trace — is an exact no-op) and demands
+the first new record be exactly ``next_seq`` (so a head-truncated or
+gapped trace fails loudly instead of silently under-counting).
+
+Faithfulness invariant
+----------------------
+:meth:`TraceStore.summary` rebuilds a :class:`TraceSummary` from the
+tables alone — per-user and per-station doubles were folded in the same
+order :func:`summarize_trace` folds them, and sqlite REALs round-trip
+IEEE doubles exactly — so ``store.summary().headline()`` equals
+``replay_trace(path).headline()`` **bit-for-bit**.  A store that can
+reproduce the replay path's every scalar is provably carrying the whole
+trace, not a lossy digest of it.
+"""
+
+import json
+import sqlite3
+
+from repro.sim.errors import SimulationError
+from repro.telemetry import kinds
+from repro.telemetry.trace import TraceSummary, read_trace
+
+SCHEMA_VERSION = 1
+
+#: Width of one utilization heatmap bucket (seconds).
+BUCKET_SECONDS = 3600.0
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS events (
+    seq     INTEGER PRIMARY KEY,
+    t       REAL NOT NULL,
+    src     TEXT NOT NULL,
+    kind    TEXT NOT NULL,
+    payload TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS events_by_kind ON events (kind, seq);
+CREATE INDEX IF NOT EXISTS events_by_src ON events (src, seq);
+CREATE TABLE IF NOT EXISTS event_counts (
+    kind  TEXT PRIMARY KEY,
+    count INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS users (
+    id              INTEGER PRIMARY KEY AUTOINCREMENT,
+    user            TEXT UNIQUE NOT NULL,
+    jobs_submitted  INTEGER NOT NULL DEFAULT 0,
+    jobs_completed  INTEGER NOT NULL DEFAULT 0,
+    demand_seconds  REAL NOT NULL DEFAULT 0.0,
+    demand_entries  INTEGER NOT NULL DEFAULT 0
+);
+CREATE TABLE IF NOT EXISTS jobs (
+    key                  TEXT PRIMARY KEY,
+    id                   INTEGER,
+    name                 TEXT,
+    user                 TEXT,
+    home                 TEXT,
+    demand_seconds       REAL,
+    status               TEXT,
+    submitted_t          REAL,
+    first_placed_t       REAL,
+    completed_t          REAL,
+    last_host            TEXT,
+    placements           INTEGER NOT NULL DEFAULT 0,
+    placement_failures   INTEGER NOT NULL DEFAULT 0,
+    suspensions          INTEGER NOT NULL DEFAULT 0,
+    resumes              INTEGER NOT NULL DEFAULT 0,
+    vacates              INTEGER NOT NULL DEFAULT 0,
+    periodic_checkpoints INTEGER NOT NULL DEFAULT 0,
+    kills                INTEGER NOT NULL DEFAULT 0,
+    preemptions          INTEGER NOT NULL DEFAULT 0,
+    host_losses          INTEGER NOT NULL DEFAULT 0,
+    images_lost          INTEGER NOT NULL DEFAULT 0,
+    torn_writes          INTEGER NOT NULL DEFAULT 0,
+    restore_fallbacks    INTEGER NOT NULL DEFAULT 0
+);
+CREATE INDEX IF NOT EXISTS jobs_by_user ON jobs (user);
+CREATE TABLE IF NOT EXISTS ledger (
+    station  TEXT NOT NULL,
+    category TEXT NOT NULL,
+    seconds  REAL NOT NULL,
+    entries  INTEGER NOT NULL,
+    PRIMARY KEY (station, category)
+);
+CREATE TABLE IF NOT EXISTS utilization (
+    station  TEXT NOT NULL,
+    bucket   INTEGER NOT NULL,
+    category TEXT NOT NULL,
+    seconds  REAL NOT NULL,
+    PRIMARY KEY (station, bucket, category)
+);
+CREATE TABLE IF NOT EXISTS leases (
+    lease_id      TEXT NOT NULL,
+    station       TEXT NOT NULL,
+    lender        TEXT,
+    borrower      TEXT,
+    granted_t     REAL,
+    expires_at    REAL,
+    returned_t    REAL,
+    return_reason TEXT,
+    expired_t     REAL,
+    PRIMARY KEY (lease_id, station)
+);
+CREATE TABLE IF NOT EXISTS faults (
+    seq    INTEGER PRIMARY KEY,
+    t      REAL NOT NULL,
+    kind   TEXT NOT NULL,
+    fault  TEXT,
+    target TEXT,
+    detail TEXT NOT NULL
+);
+"""
+
+#: jobs-table columns, in schema order (used for the cache round trip).
+_JOB_COLS = (
+    "key", "id", "name", "user", "home", "demand_seconds", "status",
+    "submitted_t", "first_placed_t", "completed_t", "last_host",
+    "placements", "placement_failures", "suspensions", "resumes",
+    "vacates", "periodic_checkpoints", "kills", "preemptions",
+    "host_losses", "images_lost", "torn_writes", "restore_fallbacks",
+)
+
+_JOB_COUNTERS = {
+    kinds.JOB_PLACED: "placements",
+    kinds.JOB_PLACEMENT_FAILED: "placement_failures",
+    kinds.JOB_SUSPENDED: "suspensions",
+    kinds.JOB_RESUMED: "resumes",
+    kinds.JOB_VACATED: "vacates",
+    kinds.JOB_PERIODIC_CHECKPOINT: "periodic_checkpoints",
+    kinds.JOB_KILLED: "kills",
+    kinds.JOB_PREEMPTED: "preemptions",
+    kinds.HOST_LOST: "host_losses",
+    kinds.CHECKPOINT_IMAGE_LOST: "images_lost",
+    kinds.CHECKPOINT_WRITE_TORN: "torn_writes",
+    kinds.CHECKPOINT_RESTORE_FALLBACK: "restore_fallbacks",
+}
+
+_JOB_STATUS = {
+    kinds.JOB_SUBMITTED: "queued",
+    kinds.JOB_REFUSED: "refused",
+    kinds.JOB_PLACED: "running",
+    kinds.JOB_SUSPENDED: "suspended",
+    kinds.JOB_RESUMED: "running",
+    kinds.JOB_VACATED: "queued",
+    kinds.JOB_KILLED: "queued",
+    kinds.JOB_PREEMPTED: "queued",
+    kinds.HOST_LOST: "queued",
+    kinds.JOB_COMPLETED: "completed",
+    kinds.JOB_REMOVED: "removed",
+    kinds.JOB_FAILED: "failed",
+}
+
+#: Kinds recorded in the ``faults`` incident table.
+_FAULT_TABLE_KINDS = frozenset(kinds.FAULT_KINDS + kinds.STORAGE_KINDS)
+
+#: Payload keys tried, in order, for the fault table's ``target`` column.
+_FAULT_TARGET_KEYS = ("station", "host", "name", "src", "dst")
+
+
+def _canonical(payload):
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _job_dict(payload):
+    job = payload.get("job")
+    return job if isinstance(job, dict) else {}
+
+
+def _job_key(job):
+    """Stable per-trace key for a job payload summary."""
+    if job.get("id") is not None:
+        return f"#{job['id']}"
+    return str(job.get("name") or "?")
+
+
+def _job_user(job):
+    return job.get("user") or job.get("owner") or "?"
+
+
+class TraceStore:
+    """One sqlite database holding an ingested telemetry trace.
+
+    ``path`` may be a filesystem path or ``":memory:"``.  Open stores
+    are context managers; :meth:`close` is idempotent.
+    """
+
+    def __init__(self, path):
+        self.path = path
+        self._db = sqlite3.connect(path)
+        self._db.executescript(_SCHEMA)
+        stored = self._meta_get("schema_version")
+        if stored is None:
+            self._meta_set("schema_version", str(SCHEMA_VERSION))
+            self._db.commit()
+        elif int(stored) != SCHEMA_VERSION:
+            raise SimulationError(
+                f"ops store {path!r} has schema v{stored}, "
+                f"this build expects v{SCHEMA_VERSION}"
+            )
+
+    # -- plumbing ------------------------------------------------------
+
+    @property
+    def connection(self):
+        """The underlying :mod:`sqlite3` connection (escape hatch)."""
+        return self._db
+
+    def close(self):
+        if self._db is not None:
+            self._db.close()
+            self._db = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+    def _meta_get(self, key, default=None):
+        row = self._db.execute(
+            "SELECT value FROM meta WHERE key = ?", (key,)).fetchone()
+        return default if row is None else row[0]
+
+    def _meta_set(self, key, value):
+        self._db.execute(
+            "INSERT INTO meta (key, value) VALUES (?, ?) "
+            "ON CONFLICT (key) DO UPDATE SET value = excluded.value",
+            (key, value),
+        )
+
+    @property
+    def next_seq(self):
+        """The ingest cursor: first sequence number not yet stored."""
+        return int(self._meta_get("next_seq", "0"))
+
+    @property
+    def end_time(self):
+        return float(self._meta_get("end_time", "0.0"))
+
+    def row_counts(self):
+        """``{table: rows}`` for every table (no-op-ingest checks)."""
+        tables = [row[0] for row in self._db.execute(
+            "SELECT name FROM sqlite_master WHERE type = 'table' "
+            "AND name NOT LIKE 'sqlite_%' ORDER BY name")]
+        return {table: self._db.execute(
+                    f"SELECT COUNT(*) FROM {table}").fetchone()[0]
+                for table in tables}
+
+    def __repr__(self):
+        return f"<TraceStore {self.path} next_seq={self.next_seq}>"
+
+    # -- ingestion -----------------------------------------------------
+
+    def ingest_file(self, trace_path):
+        """Ingest a JSONL trace file; returns the number of new events."""
+        added = self.ingest(read_trace(trace_path))
+        if added:
+            with self._db:
+                self._meta_set("last_trace", str(trace_path))
+        return added
+
+    def ingest(self, records):
+        """Fold trace records (dicts, seq order) into the tables.
+
+        Records below the cursor are skipped (idempotent re-ingest); the
+        first new record must be exactly ``next_seq``.  Returns the
+        number of newly ingested events.  All-or-nothing: one
+        transaction, rolled back on error.
+        """
+        cursor = self.next_seq
+        start = cursor
+        end_time = self.end_time
+        event_rows = []
+        counts = {}
+        ledger = _RowCache(self._ledger_load)
+        buckets = _RowCache(self._bucket_load)
+        users = _RowCache(self._user_load)
+        jobs = _RowCache(self._job_load)
+        fault_rows = []
+        lease_ops = []
+
+        for record in records:
+            seq = record["seq"]
+            if seq < cursor:
+                continue
+            if seq != cursor:
+                raise SimulationError(
+                    f"cannot ingest a non-contiguous trace: expected seq "
+                    f"{cursor}, got {seq}"
+                    + (" — head-truncated, expected seq 0 at the start"
+                       if start == cursor == 0 else "")
+                )
+            cursor += 1
+            t = record["t"]
+            src = record["src"]
+            kind = record["kind"]
+            payload = record.get("payload") or {}
+            event_rows.append((seq, t, src, kind, _canonical(payload)))
+            counts[kind] = counts.get(kind, 0) + 1
+            if t > end_time:
+                end_time = t
+            self._ingest_one(seq, t, src, kind, payload,
+                             ledger, buckets, users, jobs,
+                             fault_rows, lease_ops)
+
+        if not event_rows:
+            return 0
+        with self._db:
+            self._db.executemany(
+                "INSERT INTO events (seq, t, src, kind, payload) "
+                "VALUES (?, ?, ?, ?, ?)", event_rows)
+            self._db.executemany(
+                "INSERT INTO event_counts (kind, count) VALUES (?, ?) "
+                "ON CONFLICT (kind) DO UPDATE "
+                "SET count = count + excluded.count",
+                sorted(counts.items()))
+            self._ledger_flush(ledger)
+            self._bucket_flush(buckets)
+            self._user_flush(users)
+            self._job_flush(jobs)
+            if fault_rows:
+                self._db.executemany(
+                    "INSERT INTO faults (seq, t, kind, fault, target, "
+                    "detail) VALUES (?, ?, ?, ?, ?, ?)", fault_rows)
+            for sql, params in lease_ops:
+                self._db.execute(sql, params)
+            self._meta_set("next_seq", str(cursor))
+            self._meta_set("end_time", repr(end_time))
+        return cursor - start
+
+    def _ingest_one(self, seq, t, src, kind, payload,
+                    ledger, buckets, users, jobs, fault_rows, lease_ops):
+        if kind == kinds.LEDGER_ENTRY:
+            row = ledger[(src, payload["category"])]
+            # Fold in trace order: equals the live ledger bit-for-bit.
+            row[0] += payload["booked"]
+            row[1] += 1
+            self._bucket_spread(buckets, src, payload)
+            return
+        job = _job_dict(payload)
+        if kind == kinds.JOB_SUBMITTED:
+            user = users[_job_user(job)]
+            user[0] += 1
+            demand = job.get("demand_seconds")
+            if demand is not None:
+                user[2] += demand
+                user[3] += 1
+            row = jobs[_job_key(job)]
+            self._job_describe(row, job, status="queued", submitted_t=t)
+        elif kind == kinds.JOB_COMPLETED:
+            users[_job_user(job)][1] += 1
+            row = jobs[_job_key(job)]
+            self._job_describe(row, job, status="completed",
+                               completed_t=t)
+        elif kind in _JOB_COUNTERS or kind in _JOB_STATUS:
+            row = jobs[_job_key(job)]
+            self._job_describe(row, job)
+            counter = _JOB_COUNTERS.get(kind)
+            if counter is not None:
+                row[counter] += 1
+            status = _JOB_STATUS.get(kind)
+            if status is not None:
+                row["status"] = status
+            if kind == kinds.JOB_PLACED:
+                if row["first_placed_t"] is None:
+                    row["first_placed_t"] = t
+                row["last_host"] = payload.get("host") or src
+        if kind in _FAULT_TABLE_KINDS:
+            target = next(
+                (payload[key] for key in _FAULT_TARGET_KEYS
+                 if isinstance(payload.get(key), str)),
+                _job_dict(payload).get("name"))
+            fault_rows.append((seq, t, kind, payload.get("fault"),
+                               target, _canonical(payload)))
+        elif kind == kinds.CROSS_POOL_LEASE_GRANTED:
+            for station in payload.get("stations") or ():
+                lease_ops.append((
+                    "INSERT INTO leases (lease_id, station, lender, "
+                    "borrower, granted_t, expires_at) "
+                    "VALUES (?, ?, ?, ?, ?, ?) "
+                    "ON CONFLICT (lease_id, station) DO UPDATE SET "
+                    "lender = excluded.lender, "
+                    "borrower = excluded.borrower, "
+                    "granted_t = excluded.granted_t, "
+                    "expires_at = excluded.expires_at",
+                    (str(payload.get("lease_id")), station, src,
+                     str(payload.get("borrower")), t,
+                     payload.get("expires_at")),
+                ))
+        elif kind == kinds.CROSS_POOL_LEASE_RETURNED:
+            lease_ops.append((
+                "INSERT INTO leases (lease_id, station, returned_t, "
+                "return_reason) VALUES (?, ?, ?, ?) "
+                "ON CONFLICT (lease_id, station) DO UPDATE SET "
+                "returned_t = excluded.returned_t, "
+                "return_reason = excluded.return_reason",
+                (str(payload.get("lease_id")),
+                 payload.get("station") or src, t,
+                 payload.get("reason")),
+            ))
+        elif kind == kinds.CROSS_POOL_LEASE_EXPIRED:
+            lease_ops.append((
+                "INSERT INTO leases (lease_id, station, expired_t) "
+                "VALUES (?, ?, ?) "
+                "ON CONFLICT (lease_id, station) DO UPDATE SET "
+                "expired_t = excluded.expired_t",
+                (str(payload.get("lease_id")),
+                 payload.get("station") or src, t),
+            ))
+
+    # -- per-table cache loaders / flushes -----------------------------
+
+    def _ledger_load(self, key):
+        station, category = key
+        row = self._db.execute(
+            "SELECT seconds, entries FROM ledger "
+            "WHERE station = ? AND category = ?", key).fetchone()
+        return [row[0], row[1]] if row else [0.0, 0]
+
+    def _ledger_flush(self, cache):
+        for (station, category), row in cache.items():
+            self._db.execute(
+                "INSERT INTO ledger (station, category, seconds, entries)"
+                " VALUES (?, ?, ?, ?) "
+                "ON CONFLICT (station, category) DO UPDATE SET "
+                "seconds = excluded.seconds, entries = excluded.entries",
+                (station, category, row[0], row[1]))
+
+    def _bucket_load(self, key):
+        row = self._db.execute(
+            "SELECT seconds FROM utilization "
+            "WHERE station = ? AND bucket = ? AND category = ?",
+            key).fetchone()
+        return [row[0]] if row else [0.0]
+
+    def _bucket_flush(self, cache):
+        self._db.executemany(
+            "INSERT INTO utilization (station, bucket, category, seconds)"
+            " VALUES (?, ?, ?, ?) "
+            "ON CONFLICT (station, bucket, category) DO UPDATE SET "
+            "seconds = excluded.seconds",
+            [(station, bucket, category, row[0])
+             for (station, bucket, category), row in cache.items()])
+
+    def _bucket_spread(self, buckets, station, payload):
+        """Split one ledger booking across hourly heatmap buckets."""
+        t0, t1 = payload["t0"], payload["t1"]
+        booked = payload["booked"]
+        category = payload["category"]
+        if t1 <= t0:
+            buckets[(station, int(t0 // BUCKET_SECONDS), category)][0] \
+                += booked
+            return
+        span = t1 - t0
+        first = int(t0 // BUCKET_SECONDS)
+        last = int(t1 // BUCKET_SECONDS)
+        for bucket in range(first, last + 1):
+            lo = max(t0, bucket * BUCKET_SECONDS)
+            hi = min(t1, (bucket + 1) * BUCKET_SECONDS)
+            if hi > lo:
+                buckets[(station, bucket, category)][0] += (
+                    booked * (hi - lo) / span)
+
+    def _user_load(self, user):
+        row = self._db.execute(
+            "SELECT jobs_submitted, jobs_completed, demand_seconds, "
+            "demand_entries FROM users WHERE user = ?", (user,)).fetchone()
+        return list(row) if row else [0, 0, 0.0, 0]
+
+    def _user_flush(self, cache):
+        for user, row in cache.items():
+            self._db.execute(
+                "INSERT INTO users (user, jobs_submitted, jobs_completed,"
+                " demand_seconds, demand_entries) VALUES (?, ?, ?, ?, ?) "
+                "ON CONFLICT (user) DO UPDATE SET "
+                "jobs_submitted = excluded.jobs_submitted, "
+                "jobs_completed = excluded.jobs_completed, "
+                "demand_seconds = excluded.demand_seconds, "
+                "demand_entries = excluded.demand_entries",
+                (user, row[0], row[1], row[2], row[3]))
+
+    def _job_load(self, key):
+        row = self._db.execute(
+            "SELECT {} FROM jobs WHERE key = ?".format(
+                ", ".join(_JOB_COLS)), (key,)).fetchone()
+        if row is not None:
+            return dict(zip(_JOB_COLS, row))
+        fresh = dict.fromkeys(_JOB_COLS)
+        fresh["key"] = key
+        for counter in _JOB_COUNTERS.values():
+            fresh[counter] = 0
+        return fresh
+
+    def _job_flush(self, cache):
+        self._db.executemany(
+            "INSERT OR REPLACE INTO jobs ({}) VALUES ({})".format(
+                ", ".join(_JOB_COLS),
+                ", ".join("?" for _ in _JOB_COLS)),
+            [tuple(row[col] for col in _JOB_COLS)
+             for row in cache.values()])
+
+    @staticmethod
+    def _job_describe(row, job, **updates):
+        """Fill identity fields from a job payload summary."""
+        for attr in ("id", "name", "user", "home", "demand_seconds"):
+            if row[attr] is None and job.get(attr) is not None:
+                row[attr] = job[attr]
+        for field, value in updates.items():
+            if field == "status" or row[field] is None:
+                row[field] = value
+
+    # -- faithfulness --------------------------------------------------
+
+    def summary(self):
+        """Rebuild the replay path's :class:`TraceSummary` from tables.
+
+        The returned summary's :meth:`~TraceSummary.headline` equals
+        ``replay_trace(trace).headline()`` bit-for-bit for any trace this
+        store ingested (the faithfulness invariant; see module docs).
+        """
+        summary = TraceSummary()
+        for kind, count in self._db.execute(
+                "SELECT kind, count FROM event_counts ORDER BY kind"):
+            summary.event_counts[kind] = count
+        summary.events_total = self.next_seq
+        summary.end_time = self.end_time
+        if summary.events_total:
+            summary.first_seq = 0
+            summary._last_seq = summary.events_total - 1
+        # id order = first-appearance order: the dict insertion order
+        # (and thus the float summation order) matches the replay fold.
+        for user, submitted, demand, entries in self._db.execute(
+                "SELECT user, jobs_submitted, demand_seconds, "
+                "demand_entries FROM users ORDER BY id"):
+            if submitted:
+                summary.jobs_by_user[user] = submitted
+            if entries:
+                summary.demand_seconds_by_user[user] = demand
+        for station, category, seconds in self._db.execute(
+                "SELECT station, category, seconds FROM ledger "
+                "ORDER BY rowid"):
+            summary.ledger.setdefault(station, {})[category] = seconds
+        return summary
+
+    # -- raw queries ---------------------------------------------------
+
+    def query(self, sql, params=()):
+        """Run arbitrary SQL; returns ``(column_names, rows)``."""
+        cursor = self._db.execute(sql, params)
+        columns = ([description[0] for description in cursor.description]
+                   if cursor.description else [])
+        return columns, cursor.fetchall()
+
+
+class _RowCache(dict):
+    """Per-ingest write-back cache: rows load lazily, flush once."""
+
+    __slots__ = ("_load",)
+
+    def __init__(self, load):
+        super().__init__()
+        self._load = load
+
+    def __missing__(self, key):
+        row = self._load(key)
+        self[key] = row
+        return row
+
+
+def ingest_trace(trace_path, db_path):
+    """Convenience one-shot: ingest ``trace_path`` into ``db_path``.
+
+    Returns ``(store, added_events)`` with the store left open.
+    """
+    store = TraceStore(db_path)
+    try:
+        added = store.ingest_file(trace_path)
+    except BaseException:
+        store.close()
+        raise
+    return store, added

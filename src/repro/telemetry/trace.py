@@ -36,7 +36,16 @@ def jsonify(value):
     if isinstance(value, (list, tuple)):
         return [jsonify(item) for item in value]
     if isinstance(value, (set, frozenset)):
-        return sorted(jsonify(item) for item in value)
+        # Sort by the canonical JSON encoding of the *jsonified* items:
+        # members of mixed types (or members that jsonify to dicts, e.g.
+        # job objects) have no mutual ordering, so sorting the raw
+        # values would raise TypeError.  The encoding is a total order
+        # over every jsonify output, and equal encodings mean equal
+        # values, so the result is byte-stable across insertion orders.
+        items = [jsonify(item) for item in value]
+        items.sort(key=lambda item: json.dumps(
+            item, sort_keys=True, separators=(",", ":")))
+        return items
     summary = {}
     for attr in _JOB_ATTRS:
         item = getattr(value, attr, None)
@@ -258,6 +267,8 @@ class TraceSummary:
         #: Ledger seconds per station per category (exact float replay
         #: of each station's own accumulation order).
         self.ledger = {}
+        #: First and last sequence numbers seen (None on an empty trace).
+        self.first_seq = None
         self._last_seq = None
         self.seq_gaps = 0
 
@@ -265,7 +276,9 @@ class TraceSummary:
 
     def add(self, record):
         seq = record["seq"]
-        if self._last_seq is not None and seq != self._last_seq + 1:
+        if self._last_seq is None:
+            self.first_seq = seq
+        elif seq != self._last_seq + 1:
             self.seq_gaps += 1
         self._last_seq = seq
         kind = record["kind"]
@@ -291,6 +304,11 @@ class TraceSummary:
             )
 
     # -- derived headline scalars --------------------------------------
+
+    @property
+    def last_seq(self):
+        """Last sequence number seen (None on an empty trace)."""
+        return self._last_seq
 
     def count(self, kind):
         return self.event_counts.get(kind, 0)
@@ -360,14 +378,24 @@ class TraceSummary:
 
 
 def summarize_trace(records):
-    """Fold an iterable of trace records into a :class:`TraceSummary`."""
+    """Fold an iterable of trace records into a :class:`TraceSummary`.
+
+    Raises :class:`SimulationError` unless the records form the complete
+    stream ``seq 0..N`` with no gaps: a trace truncated at the *head*
+    (first seq > 0) is just as incomplete as one with holes in the
+    middle, and would otherwise silently under-count every aggregate.
+    """
     summary = TraceSummary()
     for record in records:
         summary.add(record)
-    if summary.seq_gaps:
-        raise SimulationError(
-            f"trace is not contiguous: {summary.seq_gaps} sequence gaps"
-        )
+    head_truncated = summary.first_seq not in (None, 0)
+    if summary.seq_gaps or head_truncated:
+        detail = (f"first seq {summary.first_seq}, "
+                  f"last seq {summary.last_seq}, "
+                  f"{summary.seq_gaps} sequence gap(s)")
+        if head_truncated:
+            detail += " — head-truncated, expected seq 0 at the start"
+        raise SimulationError(f"trace is not contiguous: {detail}")
     return summary
 
 

@@ -83,3 +83,45 @@ class TestRegistry:
         assert snap["h"]["count"] == 1
         assert snap["h"]["sum"] == 3.0
         assert snap["h"]["mean"] == 3.0
+
+
+class TestRegistryThreadSafety:
+    """snapshot()/names() must hold the registry lock while reading:
+    the live runtime's worker threads create instruments on first use,
+    and an unlocked dict iteration races those inserts (RuntimeError:
+    dictionary changed size during iteration)."""
+
+    def test_snapshot_during_concurrent_first_use(self):
+        import threading
+
+        registry = MetricsRegistry()
+        done = threading.Event()
+        failures = []
+
+        def churn(worker):
+            for index in range(400):
+                registry.counter(f"w{worker}.c{index}").inc()
+
+        def observe():
+            while not done.is_set():
+                try:
+                    registry.snapshot()
+                    registry.names()
+                    len(registry)
+                except RuntimeError as exc:  # pragma: no cover
+                    failures.append(exc)
+                    return
+
+        watcher = threading.Thread(target=observe, daemon=True)
+        workers = [threading.Thread(target=churn, args=(i,), daemon=True)
+                   for i in range(4)]
+        watcher.start()
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join(timeout=30.0)
+        done.set()
+        watcher.join(timeout=30.0)
+        assert not failures
+        assert len(registry) == 4 * 400
+        assert len(registry.snapshot()) == 4 * 400

@@ -1,0 +1,102 @@
+"""Edge cases of the keyed shard-trace merge.
+
+The space-parallel path (PR 6) is exercised end-to-end by
+``tests/analysis/test_shardrun.py``; these tests pin the merge layer
+itself on degenerate inputs — empty shard files, blank-line-only files,
+and the single-shard case, whose merge must be byte-identical to what
+the serial :class:`TraceRecorder` writes for the same event stream.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.telemetry import TelemetryHub, TraceRecorder, kinds
+from repro.telemetry.trace import (
+    ShardTraceRecorder,
+    merge_shard_lines,
+    merge_shard_traces,
+)
+
+
+@pytest.fixture
+def recorded(tmp_path):
+    """One key-sorted event stream recorded both ways.
+
+    The hub feeds a serial :class:`TraceRecorder` (global seqs) and a
+    :class:`ShardTraceRecorder` (keyed lines) simultaneously; emissions
+    are issued in (t, locus) key order, as the locus-mode kernel
+    dispatches them.
+    """
+    clock = SimpleNamespace(now=0.0)
+    sim = SimpleNamespace(current_locus=0)
+    hub = TelemetryHub(clock=lambda: clock.now)
+    serial_path = tmp_path / "serial.jsonl"
+    shard_path = tmp_path / "shard-0.jsonl"
+    serial = TraceRecorder(hub, str(serial_path))
+    shard = ShardTraceRecorder(hub, sim, str(shard_path))
+
+    def emit(t, locus, kind, **payload):
+        clock.now = t
+        sim.current_locus = locus
+        hub.emit(kind, source=f"st-{locus}", **payload)
+
+    emit(0.0, 0, kinds.JOB_SUBMITTED,
+         job={"id": 1, "user": "A"}, station="st-0")
+    emit(0.0, 0, kinds.COORDINATOR_CYCLE, wanting=["st-0"])
+    emit(0.0, 1, kinds.JOB_SUBMITTED,
+         job={"id": 2, "user": "B"}, station="st-1")
+    emit(5.0, 0, kinds.JOB_PLACED, job={"id": 1}, host="st-1")
+    emit(5.0, 2, kinds.LEDGER_ENTRY, category="owner",
+         t0=0.0, t1=5.0, fraction=1.0, booked=5.0)
+    emit(9.0, 1, kinds.JOB_COMPLETED, job={"id": 2}, station="st-1")
+    serial.close()
+    shard.close()
+    return serial_path, shard_path
+
+
+def test_single_shard_merge_is_byte_identical_to_serial(recorded,
+                                                        tmp_path):
+    serial_path, shard_path = recorded
+    out = tmp_path / "merged.jsonl"
+    written = merge_shard_traces([str(shard_path)], str(out))
+    assert written == 6
+    assert out.read_bytes() == serial_path.read_bytes()
+
+
+def test_empty_shard_file_merges_cleanly(recorded, tmp_path):
+    serial_path, shard_path = recorded
+    empty = tmp_path / "shard-1.jsonl"
+    empty.write_bytes(b"")
+    out = tmp_path / "merged.jsonl"
+    written = merge_shard_traces([str(shard_path), str(empty)],
+                                 str(out))
+    assert written == 6
+    assert out.read_bytes() == serial_path.read_bytes()
+
+
+def test_blank_lines_only_shard_contributes_nothing(recorded, tmp_path):
+    serial_path, shard_path = recorded
+    blanks = tmp_path / "shard-1.jsonl"
+    blanks.write_text("\n\n  \n\n", encoding="utf-8")
+    out = tmp_path / "merged.jsonl"
+    written = merge_shard_traces([str(shard_path), str(blanks)],
+                                 str(out))
+    assert written == 6
+    assert out.read_bytes() == serial_path.read_bytes()
+
+
+def test_all_empty_shards_produce_empty_trace(tmp_path):
+    empties = []
+    for index in range(2):
+        path = tmp_path / f"shard-{index}.jsonl"
+        path.write_bytes(b"")
+        empties.append(str(path))
+    out = tmp_path / "merged.jsonl"
+    assert merge_shard_traces(empties, str(out)) == 0
+    assert out.read_bytes() == b""
+
+
+def test_merge_no_lines_at_all():
+    assert merge_shard_lines([]) == []
+    assert merge_shard_lines([[], []]) == []

@@ -65,3 +65,82 @@ def test_month_csv_export(tmp_path, capsys):
     assert rc == 0
     assert "CSV files" in out
     assert (tmp_path / "table_1.csv").exists()
+
+
+@pytest.fixture(scope="module")
+def mini_trace(tmp_path_factory):
+    """A small recorded run shared by the query-verb tests."""
+    path = tmp_path_factory.mktemp("cli-traces") / "mini.jsonl"
+    rc = main(["month", "--days", "2", "--scale", "0.03",
+               "--exhibit", "headline_scalars", "--trace", str(path)])
+    assert rc == 0
+    return path
+
+
+def test_query_summary_matches_replay(mini_trace, tmp_path, capsys):
+    db = tmp_path / "ops.sqlite"
+    rc = main(["query", "summary", "--trace", str(mini_trace),
+               "--db", str(db), "--check-replay", str(mini_trace)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "ingested" in out
+    assert "hours consumed by Condor" in out
+    assert "matches replay" in out and "bit-for-bit" in out
+
+
+def test_query_reingest_is_noop(mini_trace, tmp_path, capsys):
+    db = tmp_path / "ops.sqlite"
+    assert main(["query", "tables", "--trace", str(mini_trace),
+                 "--db", str(db)]) == 0
+    first = capsys.readouterr().out
+    assert main(["query", "tables", "--trace", str(mini_trace),
+                 "--db", str(db)]) == 0
+    second = capsys.readouterr().out
+    assert "ingested 0 new events" in second
+    # Table row counts are identical after the no-op re-ingest.
+    assert first.splitlines()[1:] == second.splitlines()[1:]
+
+
+def test_query_canned_reports(mini_trace, tmp_path, capsys):
+    db = tmp_path / "ops.sqlite"
+    assert main(["query", "tables", "--trace", str(mini_trace),
+                 "--db", str(db)]) == 0
+    capsys.readouterr()
+    for report, needle in [
+        ("fair-share", "Up-Down view"),
+        ("checkpoints", "Checkpoint-loss audit"),
+        ("utilization", "heatmap"),
+        ("timeline", "timeline"),
+        ("jobs", "lifecycle"),
+    ]:
+        assert main(["query", report, "--db", str(db)]) == 0
+        assert needle in capsys.readouterr().out
+
+
+def test_query_sql_escape_hatch(mini_trace, tmp_path, capsys):
+    db = tmp_path / "ops.sqlite"
+    assert main(["query", "sql",
+                 "SELECT kind, COUNT(*) AS n FROM events GROUP BY kind "
+                 "ORDER BY n DESC LIMIT 3",
+                 "--trace", str(mini_trace), "--db", str(db)]) == 0
+    out = capsys.readouterr().out
+    assert "kind" in out and "ledger_entry" in out
+
+
+def test_query_sql_requires_statement(capsys):
+    rc = main(["query", "sql", "--db", "unused.sqlite"])
+    assert rc == 2
+    assert "statement" in capsys.readouterr().err
+
+
+def test_query_requires_db_or_trace(capsys):
+    rc = main(["query", "summary"])
+    assert rc == 2
+    assert "--db" in capsys.readouterr().err
+
+
+def test_query_missing_trace_errors(tmp_path, capsys):
+    rc = main(["query", "summary", "--trace",
+               str(tmp_path / "nope.jsonl")])
+    assert rc == 2
+    assert "error" in capsys.readouterr().err
