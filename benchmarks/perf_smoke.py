@@ -1,6 +1,6 @@
 """Performance smoke test for CI.
 
-Two suites, selected with ``--suite``:
+Three suites, selected with ``--suite``:
 
 * ``kernel`` (default) — the kernel micro-benchmarks plus a 2-day
   mini-month; numbers go to ``BENCH_kernel.json``.
@@ -13,6 +13,11 @@ Two suites, selected with ``--suite``:
   a 50k-station day at K=10 — and the sharded-federation headline (the
   same day with each pool coordinator inside its home shard, serial vs
   4 worker processes) — slow, so off by default in CI.
+* ``service`` — the live service plane over real sockets (see
+  :mod:`bench_service`): sustained submissions/sec, end-to-end
+  jobs/sec, coordinator recovery time and standby failover time;
+  numbers go to ``BENCH_service.json``.  Latencies gate inverted
+  (``*_per_sec``) so the shared higher-is-better floor applies.
 
 With ``--check BASELINE`` the run fails when any gated throughput
 metric regresses more than the tolerance (default 30%) against the
@@ -456,16 +461,32 @@ GATED = {
         # must actually run in parallel for a speedup to mean anything).
         ("n50000_federated_k10_shards4", "speedup_if_parallel"),
     ),
+    "service": (
+        ("submit", "submissions_per_sec"),
+        ("end_to_end", "jobs_per_sec"),
+        # Inverted latencies: a slower recovery/failover lowers the
+        # rate and trips the same higher-is-better floor.
+        ("recovery", "recoveries_per_sec"),
+        ("failover", "failovers_per_sec"),
+    ),
 }
+
+def measure_service():
+    import bench_service
+
+    return _with_rss(bench_service.measure())
+
 
 SUITES = {
     "kernel": lambda args: measure_kernel(),
     "coordinator": lambda args: measure_coordinator(full=args.full),
+    "service": lambda args: measure_service(),
 }
 
 DEFAULT_OUTPUT = {
     "kernel": "BENCH_kernel.json",
     "coordinator": "BENCH_coordinator.json",
+    "service": "BENCH_service.json",
 }
 
 

@@ -15,6 +15,13 @@ Subcommands:
   fanned out over worker processes (``--jobs N``);
 * ``chaos``    — run seeded fault schedules (crashes, partitions, loss
   bursts) and verify zero lost jobs plus byte-identical replay;
+  ``--suite service`` runs the *live* suite against real processes
+  with real ``kill -9``;
+* ``serve``    — run the live coordinator daemon (or a warm standby)
+  speaking length-prefixed JSON over TCP;
+* ``agent``    — run one station agent against a coordinator;
+* ``submit`` / ``q`` / ``rm`` / ``drain`` — client verbs against a
+  running coordinator;
 * ``demo``     — a one-minute, five-station narrated demo.
 """
 
@@ -403,6 +410,10 @@ def _cmd_chaos_sharded(args):
 
 
 def _cmd_chaos(args):
+    if args.suite == "service":
+        from repro.service.harness import run_service_suite
+
+        return run_service_suite(args)
     if args.shards:
         return _cmd_chaos_sharded(args)
     if args.pools:
@@ -467,6 +478,144 @@ def _cmd_chaos(args):
               "deterministic replay",
     ))
     return 1 if failures else 0
+
+
+#: Default coordinator endpoint (Condor's historical port).
+_SERVICE_ENDPOINTS = "127.0.0.1:9618"
+
+
+def _service_client(args):
+    from repro.service import protocol
+    from repro.service.client import ServiceClient
+
+    return ServiceClient(protocol.parse_endpoints(args.endpoints),
+                         timeout=args.timeout)
+
+
+def _cmd_serve(args):
+    import signal as _signal
+
+    from repro.service import protocol
+    from repro.service.daemon import CoordinatorDaemon, StandbyCoordinator
+
+    kwargs = {"agent_timeout": args.agent_timeout,
+              "poll_interval": args.poll}
+    if args.standby_for:
+        primary = protocol.parse_endpoint(args.standby_for)
+        node = StandbyCoordinator(
+            args.db, primary, host=args.host, port=args.port,
+            check_interval=args.standby_check,
+            misses=args.standby_misses, **kwargs)
+        role = f"standby (watching {args.standby_for})"
+    else:
+        node = CoordinatorDaemon(args.db, host=args.host,
+                                 port=args.port, **kwargs)
+        role = "primary"
+    _signal.signal(_signal.SIGTERM, lambda *_sig: node._halt.set())
+    print(f"# repro-condor coordinator [{role}] db={args.db} "
+          f"listening on {args.host}:{args.port}", flush=True)
+    try:
+        node.serve_forever()
+    except KeyboardInterrupt:
+        node.stop()
+    return 0
+
+
+def _cmd_agent(args):
+    import signal as _signal
+
+    from repro.service import protocol
+    from repro.service.agent import StationAgent
+
+    agent = StationAgent(args.name,
+                         protocol.parse_endpoints(args.endpoints),
+                         args.ckpt, heartbeat_interval=args.heartbeat,
+                         seed=args.seed)
+    _signal.signal(_signal.SIGTERM, lambda *_sig: agent._halt.set())
+    print(f"# repro-condor agent {args.name} -> {args.endpoints} "
+          f"(checkpoints in {agent.store.root})", flush=True)
+    try:
+        agent.run()
+    except KeyboardInterrupt:
+        agent.stop()
+    return 0
+
+
+def _cmd_submit(args):
+    import json
+
+    from repro.service.errors import ServiceError
+
+    try:
+        payload = json.loads(args.payload) if args.payload else {}
+        client = _service_client(args)
+        for i in range(args.count):
+            name = (args.name if args.count == 1 and args.name
+                    else (f"{args.name}-{i}" if args.name else None))
+            print(client.submit(args.entry, payload=payload, name=name,
+                                owner=args.owner,
+                                demand_seconds=args.demand))
+    except (ServiceError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_q(args):
+    from repro.service.errors import ServiceError
+
+    try:
+        snapshot = _service_client(args).q(limit=args.limit)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"# epoch {snapshot['epoch']}  pending {snapshot['pending']}  "
+          f"in-flight {snapshot['inflight']}  done {snapshot['done']}"
+          + ("  [draining]" if snapshot["draining"] else ""))
+    if snapshot["agents"]:
+        print(render_table(
+            ["agent", "job", "beat age (s)"],
+            [(a["agent"], a["job"] or "-", a["beat_age"])
+             for a in snapshot["agents"]],
+            title="Registered agents"))
+    if snapshot["jobs"]:
+        print(render_table(
+            ["key", "state", "agent", "progress", "owner"],
+            [(j["key"], j["state"], j["agent"] or "-", j["progress"],
+              j["owner"]) for j in snapshot["jobs"]],
+            title="Jobs"))
+    return 0
+
+
+def _cmd_rm(args):
+    from repro.service.errors import ServiceError
+
+    try:
+        client = _service_client(args)
+        for key in args.keys:
+            stopped = client.remove(key)
+            print(f"{key}: {'stopped' if stopped else 'already finished'}")
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_drain(args):
+    from repro.service.errors import ServiceError
+
+    try:
+        client = _service_client(args)
+        snapshot = client.drain()
+        print(f"# draining: pending {snapshot['pending']}, "
+              f"in-flight {snapshot['inflight']}, done {snapshot['done']}")
+        if args.wait:
+            final = client.wait_idle(timeout=args.wait)
+            print(f"# drained: {final['done']} jobs done")
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
 
 
 def _cmd_demo(args):
@@ -662,6 +811,78 @@ def build_parser():
                             "(requires --shards; federation scenarios "
                             "default to their own pool counts)")
     chaos.set_defaults(fn=_cmd_chaos)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the live coordinator daemon (or a warm standby)",
+    )
+    serve.add_argument("--db", required=True, metavar="FILE",
+                       help="crash-safe job database (sqlite, WAL)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=9618)
+    serve.add_argument("--agent-timeout", type=float, default=1.0,
+                       help="seconds without a heartbeat before an "
+                            "agent's job is vacated")
+    serve.add_argument("--poll", type=float, default=0.05,
+                       help="placement-loop poll interval (seconds)")
+    serve.add_argument("--standby-for", metavar="HOST:PORT",
+                       help="run as a warm standby watching this primary;"
+                            " promotes itself after repeated misses")
+    serve.add_argument("--standby-check", type=float, default=0.5,
+                       help="standby ping interval (seconds)")
+    serve.add_argument("--standby-misses", type=int, default=5,
+                       help="consecutive failed pings before promotion")
+    serve.set_defaults(fn=_cmd_serve)
+
+    agent = sub.add_parser("agent", help="run one station agent")
+    agent.add_argument("name", help="agent (station) name")
+    agent.add_argument("--endpoints", default=_SERVICE_ENDPOINTS,
+                       metavar="H:P[,H:P]",
+                       help="coordinator endpoints, primary first")
+    agent.add_argument("--ckpt", required=True, metavar="DIR",
+                       help="checkpoint directory (shared across agents)")
+    agent.add_argument("--heartbeat", type=float, default=0.25,
+                       help="heartbeat interval (seconds)")
+    agent.add_argument("--seed", type=int, default=1,
+                       help="reconnect-jitter seed")
+    agent.set_defaults(fn=_cmd_agent)
+
+    submit = sub.add_parser("submit",
+                            help="submit a job to a running coordinator")
+    submit.add_argument("entry", metavar="MODULE:FACTORY",
+                        help="job entry point, e.g. "
+                             "repro.service.samples:count_steps")
+    submit.add_argument("--payload", metavar="JSON",
+                        help="keyword arguments for the factory")
+    submit.add_argument("--name")
+    submit.add_argument("--owner", default="anonymous")
+    submit.add_argument("--demand", type=float, default=0.0,
+                        help="declared demand (seconds), for accounting")
+    submit.add_argument("--count", type=int, default=1,
+                        help="submit this many identical jobs")
+    submit.add_argument("--endpoints", default=_SERVICE_ENDPOINTS)
+    submit.add_argument("--timeout", type=float, default=5.0)
+    submit.set_defaults(fn=_cmd_submit)
+
+    q = sub.add_parser("q", help="queue/agents snapshot (like condor_q)")
+    q.add_argument("--limit", type=int, default=None)
+    q.add_argument("--endpoints", default=_SERVICE_ENDPOINTS)
+    q.add_argument("--timeout", type=float, default=5.0)
+    q.set_defaults(fn=_cmd_q)
+
+    rm = sub.add_parser("rm", help="stop jobs (like condor_rm)")
+    rm.add_argument("keys", nargs="+", metavar="KEY")
+    rm.add_argument("--endpoints", default=_SERVICE_ENDPOINTS)
+    rm.add_argument("--timeout", type=float, default=5.0)
+    rm.set_defaults(fn=_cmd_rm)
+
+    drain = sub.add_parser(
+        "drain", help="refuse new submissions; optionally wait for idle")
+    drain.add_argument("--wait", type=float, default=None, metavar="S",
+                       help="block until pending and in-flight hit zero")
+    drain.add_argument("--endpoints", default=_SERVICE_ENDPOINTS)
+    drain.add_argument("--timeout", type=float, default=5.0)
+    drain.set_defaults(fn=_cmd_drain)
 
     demo = sub.add_parser("demo", help="narrated five-station demo")
     demo.add_argument("--trace", metavar="FILE",

@@ -27,7 +27,14 @@ class LiveCheckpointStore:
         return os.path.join(self.root, f"job-{job_id}.ckpt")
 
     def save(self, job, state):
-        """Atomically persist ``state`` as the job's restart point."""
+        """Atomically persist ``state`` as the job's restart point.
+
+        The tmp file is flushed and fsync'd before the rename, and the
+        directory entry is fsync'd after it (POSIX), so the atomicity
+        holds across power loss — not just process crash.  A write that
+        fails partway (torn pickle, full disk) leaves the previous good
+        checkpoint untouched.
+        """
         path = self._path(job.id)
         with self._lock:
             fd, tmp = tempfile.mkstemp(dir=self.root,
@@ -35,11 +42,24 @@ class LiveCheckpointStore:
             try:
                 with os.fdopen(fd, "wb") as f:
                     pickle.dump(state, f)
+                    f.flush()
+                    os.fsync(f.fileno())
                 os.replace(tmp, path)
+                self._fsync_dir()
             except Exception:
                 if os.path.exists(tmp):
                     os.unlink(tmp)
                 raise
+
+    def _fsync_dir(self):
+        """Flush the directory entry so the rename itself is durable."""
+        if not hasattr(os, "O_DIRECTORY"):   # non-POSIX: best effort
+            return
+        dfd = os.open(self.root, os.O_RDONLY | os.O_DIRECTORY)
+        try:
+            os.fsync(dfd)
+        finally:
+            os.close(dfd)
 
     def load(self, job):
         """The job's last checkpointed state, or ``None`` if none exists."""

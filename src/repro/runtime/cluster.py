@@ -36,7 +36,8 @@ class LiveCluster:
     """
 
     def __init__(self, worker_names, store=None, poll_interval=0.02,
-                 placements_per_cycle=1, policy=None, hub=None):
+                 placements_per_cycle=1, policy=None, hub=None,
+                 shutdown_timeout=5.0):
         if not worker_names:
             raise LiveRuntimeError("need at least one worker")
         if poll_interval <= 0:
@@ -51,33 +52,50 @@ class LiveCluster:
         self.policy = policy or UpDownPolicy()
         self._queue = []
         self._jobs = []
+        self.shutdown_timeout = shutdown_timeout
         self._lock = threading.Lock()
         self._stop = threading.Event()
         self._wake = threading.Event()
         self._thread = None
         self._last_update = None
+        self._closed = False
 
     # ------------------------------------------------------------------
     # lifecycle
 
     def start(self):
-        """Start the coordinator thread.  Idempotent."""
+        """Start the coordinator thread.  Idempotent; reopens submission
+        after a previous :meth:`shutdown`."""
         if self._thread is not None:
             return
         self._stop.clear()
+        self._closed = False
         self._thread = threading.Thread(
             target=self._coordinate, name="live-coordinator", daemon=True
         )
         self._thread.start()
 
     def shutdown(self):
-        """Stop the coordinator (running jobs finish their current work)."""
+        """Stop the coordinator (running jobs finish their current work).
+
+        Closes the cluster for submissions, then joins the coordinator
+        thread.  A coordinator that outlives ``shutdown_timeout`` is a
+        zombie holding real resources: that raises
+        :class:`LiveRuntimeError` loudly instead of returning as if the
+        shutdown succeeded.
+        """
+        self._closed = True
         if self._thread is None:
             return
         self._stop.set()
         self._wake.set()
-        self._thread.join(timeout=5.0)
-        self._thread = None
+        thread, self._thread = self._thread, None
+        thread.join(timeout=self.shutdown_timeout)
+        if thread.is_alive():
+            raise LiveRuntimeError(
+                f"coordinator thread still running after "
+                f"{self.shutdown_timeout}s shutdown timeout (zombie)"
+            )
 
     def __enter__(self):
         self.start()
@@ -91,7 +109,15 @@ class LiveCluster:
     # submission
 
     def submit(self, fn, name=None, owner="anonymous"):
-        """Queue a checkpointable job function; returns the LiveJob."""
+        """Queue a checkpointable job function; returns the LiveJob.
+
+        Raises after :meth:`shutdown`: with no coordinator left, a
+        queued job would silently never run.
+        """
+        if self._closed:
+            raise LiveRuntimeError(
+                "cluster is shut down; nothing would ever run this job"
+            )
         job = LiveJob(fn, name=name, owner=owner)
         with self._lock:
             self._queue.append(job)
@@ -177,8 +203,11 @@ class LiveCluster:
 
     def _job_exited(self, job, outcome):
         if outcome == "vacated":
+            # Head of the queue, not the tail: a vacated job keeps its
+            # age and is re-placed before younger submissions — the
+            # simulator's resume-not-restart semantics.
             with self._lock:
-                self._queue.append(job)
+                self._queue.insert(0, job)
         self.hub.metrics.counter(f"live.{outcome}").inc()
         self._wake.set()
 

@@ -1,0 +1,369 @@
+"""The per-station agent: registers, heartbeats, runs checkpointed jobs.
+
+One agent is the paper's per-workstation daemon pair (schedd/startd)
+collapsed into a single process: it keeps a persistent socket to the
+coordinator, heartbeats on a short interval, accepts at most one foreign
+job, runs it with the live runtime's cooperative-checkpoint contract,
+and reports exits at-least-once (an exit report stays in the outbox
+until the coordinator acknowledges it).
+
+Failure discipline — :class:`~repro.net.reliable.ReliableSender` ported
+to real sockets:
+
+* reconnects walk the endpoint list (primary, standby) round-robin with
+  jittered exponential backoff, so agents find a promoted standby
+  without configuration changes and a thundering herd decorrelates;
+* every message after registration carries the agent's adopted epoch;
+  a ``stale_epoch`` rejection triggers re-registration, never a retry
+  of the stale message — the fencing that makes a deposed coordinator's
+  world-view harmless;
+* checkpoint images are **incarnation-fenced**: incarnation *i* writes
+  ``job-<n>.i<i>.ckpt`` and resume reads the highest incarnation at or
+  below its own, so a zombie incarnation left behind by a partition can
+  never clobber the image its successor resumes from.
+"""
+
+import os
+import pickle
+import random
+import socket
+import threading
+import time
+
+from repro.runtime.checkpoint import LiveCheckpointStore
+from repro.runtime.errors import VacateRequested
+from repro.runtime.job import CheckpointContext
+from repro.service import protocol
+from repro.service.errors import ProtocolError, ServiceError
+from repro.service.samples import resolve_entry
+
+
+class _JobHandle:
+    """Duck-typed job record for CheckpointContext + the store."""
+
+    def __init__(self, key, name, incarnation):
+        self.key = key
+        self.name = name
+        self.incarnation = incarnation
+        self.checkpoint_count = 0
+        #: Store filename component: fenced per incarnation.
+        self.id = f"{key.lstrip('#')}.i{incarnation}"
+
+
+class FencedCheckpointStore:
+    """Incarnation-fenced durable checkpoints on a shared directory.
+
+    Saves go through :class:`LiveCheckpointStore` (atomic tmp + fsync +
+    rename) under an incarnation-suffixed name; loads scan for the
+    newest incarnation at or below the caller's, which is where a
+    re-placed job finds its predecessor's last image.
+    """
+
+    def __init__(self, root):
+        self.inner = LiveCheckpointStore(root=root)
+        self.root = self.inner.root
+
+    def save(self, handle, state):
+        self.inner.save(handle, state)
+
+    def _images(self, key):
+        """``[(incarnation, filename), ...]`` for one job, sorted."""
+        prefix = f"job-{key.lstrip('#')}.i"
+        found = []
+        for fname in os.listdir(self.root):
+            if not (fname.startswith(prefix) and fname.endswith(".ckpt")):
+                continue
+            try:
+                found.append((int(fname[len(prefix):-5]), fname))
+            except ValueError:
+                continue
+        return sorted(found)
+
+    def load(self, handle):
+        """Newest image with incarnation <= the handle's, or ``None``."""
+        best = None
+        for incarnation, fname in self._images(handle.key):
+            if incarnation <= handle.incarnation:
+                best = fname
+        if best is None:
+            return None
+        with open(os.path.join(self.root, best), "rb") as f:
+            return pickle.load(f)
+
+    def discard(self, handle):
+        """Remove every incarnation's image (after acked completion)."""
+        for _incarnation, fname in self._images(handle.key):
+            path = os.path.join(self.root, fname)
+            if os.path.exists(path):
+                os.unlink(path)
+
+
+class StationAgent:
+    """One station's daemon: connect, register, heartbeat, execute."""
+
+    def __init__(self, name, endpoints, ckpt_root,
+                 heartbeat_interval=0.1, rpc_timeout=5.0,
+                 reconnect_base=0.05, reconnect_cap=2.0,
+                 jitter_frac=0.5, seed=1):
+        if not endpoints:
+            raise ServiceError("agent needs at least one endpoint")
+        self.name = name
+        self.endpoints = list(endpoints)
+        self.store = FencedCheckpointStore(ckpt_root)
+        self.heartbeat_interval = heartbeat_interval
+        self.rpc_timeout = rpc_timeout
+        self.reconnect_base = reconnect_base
+        self.reconnect_cap = reconnect_cap
+        self.jitter_frac = jitter_frac
+        self._rng = random.Random(seed)
+        self._epoch = 0
+        self._lock = threading.Lock()
+        self._current = None            # (handle, context, thread)
+        self._progress = {}             # key -> watermark this agent saw
+        self._outbox = []               # unacked job_exit frames
+        self._halt = threading.Event()
+        self._wake = threading.Event()
+        self._thread = None
+        #: Diagnostics: reconnects and stale-epoch re-registrations.
+        self.reconnects = 0
+        self.reregistrations = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def start(self):
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(target=self.run,
+                                        name=f"agent:{self.name}",
+                                        daemon=True)
+        self._thread.start()
+
+    def stop(self):
+        self._halt.set()
+        self._wake.set()
+        with self._lock:
+            current = self._current
+        if current is not None:
+            current[1].request_vacate()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self):
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info):
+        self.stop()
+        return False
+
+    @property
+    def busy(self):
+        with self._lock:
+            return self._current is not None
+
+    # ------------------------------------------------------------------
+    # connection management (ReliableSender discipline on real sockets)
+
+    def _backoff(self, attempt):
+        base = min(self.reconnect_cap,
+                   self.reconnect_base * 2.0 ** max(0, attempt - 1))
+        return base * (1.0 + self.jitter_frac * self._rng.random())
+
+    def _connect(self):
+        """Socket to the first answering endpoint; ``None`` on halt."""
+        attempt = 0
+        while not self._halt.is_set():
+            for endpoint in self.endpoints:
+                try:
+                    sock = socket.create_connection(
+                        endpoint, timeout=self.rpc_timeout)
+                    sock.settimeout(self.rpc_timeout)
+                    if attempt:
+                        self.reconnects += 1
+                    return sock
+                except OSError:
+                    continue
+            attempt += 1
+            if self._halt.wait(self._backoff(attempt)):
+                break
+        return None
+
+    def _rpc(self, sock, msg):
+        protocol.send_frame(sock, msg)
+        reply = protocol.recv_frame(sock)
+        if reply is None:
+            raise ProtocolError("coordinator hung up")
+        return reply
+
+    def _running_report(self):
+        with self._lock:
+            current = self._current
+            if current is None:
+                return []
+            handle = current[0]
+            progress = self._progress.get(handle.key, 0)
+        return [{"key": handle.key, "incarnation": handle.incarnation,
+                 "progress": progress}]
+
+    def _register(self, sock):
+        reply = self._rpc(sock, {
+            "op": "register", "agent": self.name,
+            "running": self._running_report(),
+        })
+        if not reply.get("ok"):
+            raise ProtocolError(f"registration rejected: {reply}")
+        self._epoch = int(reply["epoch"])
+        for key in reply.get("drop", ()):
+            self._request_vacate(key)
+        return reply
+
+    # ------------------------------------------------------------------
+    # the main loop
+
+    def run(self):
+        """Blocking agent loop (``start()`` runs this on a thread)."""
+        while not self._halt.is_set():
+            sock = self._connect()
+            if sock is None:
+                break
+            try:
+                self._register(sock)
+                self._session(sock)
+            except (OSError, ProtocolError):
+                pass
+            finally:
+                sock.close()
+
+    def _session(self, sock):
+        while not self._halt.is_set():
+            self._flush_outbox(sock)
+            reply = self._rpc(sock, {
+                "op": "heartbeat", "agent": self.name,
+                "epoch": self._epoch,
+                "running": self._running_report(),
+            })
+            if not reply.get("ok"):
+                if reply.get("error") == "stale_epoch":
+                    self.reregistrations += 1
+                    self._register(sock)
+                    continue
+                raise ProtocolError(f"heartbeat rejected: {reply}")
+            for command in reply.get("commands", ()):
+                self._apply(command)
+            self._wake.wait(self.heartbeat_interval)
+            self._wake.clear()
+
+    def _flush_outbox(self, sock):
+        while True:
+            with self._lock:
+                if not self._outbox:
+                    return
+                msg = dict(self._outbox[0])
+            msg["epoch"] = self._epoch
+            reply = self._rpc(sock, msg)
+            if not reply.get("ok"):
+                if reply.get("error") == "stale_epoch":
+                    self.reregistrations += 1
+                    self._register(sock)
+                    continue
+                raise ProtocolError(f"exit report rejected: {reply}")
+            with self._lock:
+                self._outbox.pop(0)
+            if msg["outcome"] == "completed" and reply.get("accepted"):
+                self.store.discard(_JobHandle(msg["key"], msg["key"],
+                                              msg["incarnation"]))
+
+    def _apply(self, command):
+        kind = command.get("cmd")
+        if kind == "start":
+            self._start_job(command["job"])
+        elif kind == "vacate":
+            self._request_vacate(command["key"])
+
+    # ------------------------------------------------------------------
+    # execution
+
+    def _start_job(self, spec):
+        key = spec["key"]
+        with self._lock:
+            busy = self._current is not None
+        if busy:
+            # A placement raced a still-running (likely zombie) job.
+            # Bounce it explicitly — a vacated exit sends it back to the
+            # queue head — rather than dropping it on the floor, which
+            # would wedge the placement until a human noticed.
+            self._report_exit(key, spec["incarnation"], "vacated",
+                              progress=0)
+            return
+        try:
+            fn = resolve_entry(spec["entry"], spec.get("payload") or {})
+        except ServiceError as exc:
+            self._report_exit(key, spec["incarnation"], "failed",
+                              error=str(exc), progress=0)
+            return
+        handle = _JobHandle(key, spec.get("name") or key,
+                            spec["incarnation"])
+        context = CheckpointContext(handle, self._save_checkpoint)
+        thread = threading.Thread(
+            target=self._run_job, args=(handle, context, fn),
+            name=f"{self.name}:{key}", daemon=True)
+        with self._lock:
+            self._current = (handle, context, thread)
+        thread.start()
+
+    def _save_checkpoint(self, handle, state):
+        self.store.save(handle, state)      # durable before reported
+        progress = (int(state) if isinstance(state, int)
+                    else handle.checkpoint_count + 1)
+        with self._lock:
+            previous = self._progress.get(handle.key, 0)
+            self._progress[handle.key] = max(previous, progress)
+
+    def _run_job(self, handle, context, fn):
+        state = self.store.load(handle)
+        if isinstance(state, int):
+            with self._lock:
+                self._progress[handle.key] = max(
+                    self._progress.get(handle.key, 0), int(state))
+        try:
+            result = fn(context, state)
+        except VacateRequested:
+            self._finish(handle, "vacated")
+            return
+        except Exception as exc:    # the job's own bug
+            self._finish(handle, "failed",
+                         error=f"{type(exc).__name__}: {exc}")
+            return
+        self._finish(handle, "completed", result=result)
+
+    def _finish(self, handle, outcome, result=None, error=None):
+        with self._lock:
+            self._current = None
+            progress = self._progress.get(handle.key, 0)
+        self._report_exit(handle.key, handle.incarnation, outcome,
+                          result=result, error=error, progress=progress)
+
+    def _report_exit(self, key, incarnation, outcome, result=None,
+                     error=None, progress=0):
+        msg = {"op": "job_exit", "agent": self.name, "key": key,
+               "incarnation": incarnation, "outcome": outcome,
+               "progress": progress}
+        if result is not None:
+            msg["result"] = result
+        if error is not None:
+            msg["error"] = error
+        with self._lock:
+            self._outbox.append(msg)
+        self._wake.set()
+
+    def _request_vacate(self, key):
+        with self._lock:
+            current = self._current
+        if current is not None and current[0].key == key:
+            current[1].request_vacate()
+
+    def __repr__(self):
+        return (f"<StationAgent {self.name} epoch={self._epoch} "
+                f"busy={self.busy}>")

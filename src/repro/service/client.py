@@ -1,0 +1,121 @@
+"""Client-side verbs: submit / q / rm / drain / ping over the wire.
+
+One :class:`ServiceClient` wraps the endpoint list (primary first,
+standbys after) and retries each verb across endpoints with jittered
+backoff — the same ReliableSender discipline the agents use, so a
+client submitted against a freshly promoted standby just works.
+"""
+
+import random
+import time
+
+from repro.service import protocol
+from repro.service.errors import ProtocolError, ServiceError
+
+
+class ServiceClient:
+    """Issue client verbs against whichever coordinator is answering."""
+
+    def __init__(self, endpoints, timeout=5.0, retries=8,
+                 retry_base=0.05, retry_cap=1.0, jitter_frac=0.5,
+                 seed=1, sleep=time.sleep):
+        if not endpoints:
+            raise ServiceError("client needs at least one endpoint")
+        self.endpoints = list(endpoints)
+        self.timeout = timeout
+        self.retries = retries
+        self.retry_base = retry_base
+        self.retry_cap = retry_cap
+        self.jitter_frac = jitter_frac
+        self._rng = random.Random(seed)
+        self._sleep = sleep
+
+    def _call(self, msg):
+        """Walk the endpoint list with backoff until someone answers.
+
+        ``stale_coordinator`` answers (a deposed primary still holding
+        its socket open) count as unreachable — keep walking, the
+        promoted standby is further down the list.
+        """
+        last_error = None
+        for attempt in range(1, self.retries + 1):
+            for endpoint in self.endpoints:
+                try:
+                    reply = protocol.request(endpoint, msg,
+                                             timeout=self.timeout)
+                except (OSError, ProtocolError) as exc:
+                    last_error = f"{endpoint[0]}:{endpoint[1]}: {exc}"
+                    continue
+                if reply.get("error") in ("stale_coordinator",
+                                          "stale_epoch"):
+                    last_error = f"{endpoint[0]}:{endpoint[1]}: deposed"
+                    continue
+                return reply
+            if attempt < self.retries:
+                base = min(self.retry_cap,
+                           self.retry_base * 2.0 ** (attempt - 1))
+                self._sleep(base * (1.0
+                                    + self.jitter_frac * self._rng.random()))
+        raise ServiceError(
+            f"no coordinator reachable after {self.retries} attempts "
+            f"(last: {last_error})")
+
+    def _checked(self, msg):
+        reply = self._call(msg)
+        if not reply.get("ok"):
+            raise ServiceError(
+                f"{msg.get('op')} rejected: {reply.get('error')}")
+        return reply
+
+    # -- verbs ---------------------------------------------------------
+
+    def ping(self):
+        return self._checked({"op": "ping"})
+
+    def submit(self, entry, payload=None, name=None, owner="anonymous",
+               demand_seconds=0.0):
+        """Submit one job; returns its key (``#<id>``)."""
+        reply = self._checked({
+            "op": "submit", "entry": entry, "payload": payload or {},
+            "name": name, "owner": owner,
+            "demand_seconds": demand_seconds,
+        })
+        return reply["key"]
+
+    def q(self, limit=None):
+        """Queue/agents/counters snapshot (the ``q`` verb)."""
+        msg = {"op": "q"}
+        if limit:
+            msg["limit"] = int(limit)
+        return self._checked(msg)
+
+    def remove(self, key):
+        """Stop a job (``rm``).  Returns True if it was still live."""
+        reply = self._call({"op": "rm", "key": key})
+        if not reply.get("ok") and reply.get("error") not in (
+                "already finished",):
+            raise ServiceError(f"rm {key} rejected: {reply.get('error')}")
+        return bool(reply.get("ok"))
+
+    def drain(self):
+        """Refuse new submissions; returns the progress snapshot."""
+        return self._checked({"op": "drain"})
+
+    def wait_idle(self, timeout=30.0, poll=0.05, require_done=None):
+        """Block until nothing is pending or in flight (post-drain).
+
+        Returns the final ``q`` snapshot; raises on timeout so tests
+        and the chaos harness fail loudly instead of hanging.
+        """
+        deadline = time.monotonic() + timeout
+        snapshot = None
+        while time.monotonic() < deadline:
+            snapshot = self.q()
+            settled = (snapshot["pending"] == 0
+                       and snapshot["inflight"] == 0)
+            if settled and (require_done is None
+                            or snapshot["done"] >= require_done):
+                return snapshot
+            self._sleep(poll)
+        raise ServiceError(
+            f"jobs still unsettled after {timeout}s: {snapshot}")

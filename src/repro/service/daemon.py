@@ -1,0 +1,620 @@
+"""The socket-served coordinator daemon and its warm standby.
+
+``repro-condor serve`` runs one of these.  The daemon is deliberately
+amnesiac: every lifecycle transition goes through the
+:class:`~repro.service.jobdb.JobDatabase` *before* it is acted on, so
+the in-memory picture (agent registry, pending command queues) is a pure
+cache that a ``kill -9`` discards harmlessly — the next coordinator
+rebuilds from the database and re-places whatever the dead one had in
+flight.
+
+Epoch fencing (PR 4/7's placement-lease machinery on real sockets):
+
+* a starting or promoted coordinator bumps ``meta.service_epoch`` in
+  one transaction — that *is* the takeover;
+* agents adopt the epoch at registration and stamp it on every
+  heartbeat and exit report; a mismatch is rejected with
+  ``stale_epoch`` and the agent re-registers;
+* a deposed coordinator notices the database epoch has moved past its
+  own during its placement cycle and abdicates (stops placing, answers
+  agents with ``stale_coordinator``) instead of fighting the new one.
+
+Recovery sequence on start: bump epoch → read queue + in-flight rows →
+give each in-flight job a reconcile window.  Agents that re-register
+reporting the matching ``(job, incarnation)`` keep their work (adopted
+in place); anything unclaimed when the window closes is vacated to the
+queue *head* and re-placed, resuming from its last fenced checkpoint
+image.
+"""
+
+import socket
+import threading
+import time
+
+from repro.core.updown import UpDownPolicy
+from repro.service import jobdb as db_states
+from repro.service import protocol
+from repro.service.errors import ProtocolError, ServiceError
+from repro.service.jobdb import JobDatabase
+
+
+class _AgentState:
+    """In-memory cache of one registered agent (rebuildable)."""
+
+    def __init__(self, name, now):
+        self.name = name
+        self.last_beat = now
+        self.job = None             # key the daemon believes it hosts
+        self.commands = []          # queued for the next heartbeat reply
+
+
+class CoordinatorDaemon:
+    """The central coordinator: TCP server + placement loop."""
+
+    def __init__(self, db_path, host="127.0.0.1", port=0,
+                 poll_interval=0.05, agent_timeout=1.0,
+                 reconcile_timeout=None, placements_per_cycle=4,
+                 rpc_timeout=5.0, policy=None, promotion=False,
+                 clock=time.monotonic):
+        self.db_path = str(db_path)
+        self.host = host
+        self.port = port
+        self.poll_interval = poll_interval
+        self.agent_timeout = agent_timeout
+        self.reconcile_timeout = (2.0 * agent_timeout
+                                  if reconcile_timeout is None
+                                  else reconcile_timeout)
+        self.placements_per_cycle = placements_per_cycle
+        self.rpc_timeout = rpc_timeout
+        self.policy = policy or UpDownPolicy()
+        self.promotion = promotion
+        self.clock = clock
+        self.db = None
+        self.epoch = None
+        self.endpoint = None
+        self.deposed = False
+        self._draining = False
+        self._agents = {}
+        self._reconcile = {}        # key -> adoption deadline
+        self._owners = []           # registration order for the policy
+        self._last_update = None
+        self._lock = threading.RLock()
+        self._halt = threading.Event()
+        self._wake = threading.Event()
+        self._listener = None
+        self._threads = []
+        self._conns = set()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def start(self):
+        """Recover from the job database and begin serving."""
+        if self.db is not None:
+            return
+        self.db = JobDatabase(self.db_path)
+        self.epoch = self.db.bump_epoch(promotion=self.promotion)
+        self._recover()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((self.host, self.port))
+        self._listener.listen(64)
+        self._listener.settimeout(0.2)
+        self.endpoint = (self.host, self._listener.getsockname()[1])
+        for target, name in ((self._accept_loop, "svc-accept"),
+                             (self._place_loop, "svc-place")):
+            thread = threading.Thread(target=target, name=name,
+                                      daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        return self.endpoint
+
+    def _recover(self):
+        """Rebuild the volatile picture from the durable one."""
+        saved = self.db.load_owner_indices()
+        for owner in sorted(saved):
+            self.policy.register_station(owner)
+            self.policy._index[owner] = saved[owner]
+            self._owners.append(owner)
+        deadline = self.clock() + self.reconcile_timeout
+        for key, _agent, _inc, _epoch, _prog, _owner in self.db.inflight():
+            self._reconcile[key] = deadline
+
+    def stop(self):
+        self._halt.set()
+        self._wake.set()
+        if self._listener is not None:
+            self._listener.close()
+        with self._lock:
+            conns = list(self._conns)
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._threads = []
+        if self.db is not None:
+            self.db.close()
+            self.db = None
+
+    def __enter__(self):
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info):
+        self.stop()
+        return False
+
+    def serve_forever(self):
+        """``start()`` then block until stopped (the CLI's serve verb)."""
+        self.start()
+        try:
+            while not self._halt.wait(0.5):
+                pass
+        finally:
+            self.stop()
+
+    # ------------------------------------------------------------------
+    # server plumbing
+
+    def _accept_loop(self):
+        while not self._halt.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            conn.settimeout(self.rpc_timeout)
+            with self._lock:
+                self._conns.add(conn)
+            thread = threading.Thread(target=self._serve_conn,
+                                      args=(conn,), daemon=True)
+            thread.start()
+
+    def _serve_conn(self, conn):
+        try:
+            while not self._halt.is_set():
+                try:
+                    msg = protocol.recv_frame(conn)
+                except socket.timeout:
+                    continue
+                if msg is None:
+                    return
+                try:
+                    reply = self._dispatch(msg)
+                except ServiceError as exc:
+                    reply = {"ok": False, "error": str(exc)}
+                protocol.send_frame(conn, reply)
+        except (OSError, ProtocolError):
+            pass
+        finally:
+            with self._lock:
+                self._conns.discard(conn)
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # dispatch
+
+    def _dispatch(self, msg):
+        op = msg.get("op")
+        if op == "ping":
+            return {"ok": True, "epoch": self.epoch,
+                    "role": "deposed" if self.deposed else "primary"}
+        if op == "submit":
+            return self._op_submit(msg)
+        if op == "q":
+            return self._op_q(msg)
+        if op == "rm":
+            return self._op_rm(msg)
+        if op == "drain":
+            self._draining = True
+            return {"ok": True, **self._progress_snapshot()}
+        if op in ("register", "heartbeat", "job_exit"):
+            return self._agent_dispatch(op, msg)
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+    def _progress_snapshot(self):
+        counts = self.db.counts()
+        return {
+            "pending": counts.get("pending", 0),
+            "inflight": sum(counts.get(state, 0)
+                            for state in db_states.INFLIGHT_STATES),
+            "done": counts.get(db_states.DONE, 0),
+            "draining": self._draining,
+        }
+
+    # -- client verbs --------------------------------------------------
+
+    def _op_submit(self, msg):
+        if self.deposed:
+            return {"ok": False, "error": "stale_coordinator"}
+        if self._draining:
+            return {"ok": False, "error": "draining"}
+        entry = msg.get("entry")
+        if not entry:
+            return {"ok": False, "error": "submit needs an entry"}
+        key = self.db.submit(
+            entry, payload=msg.get("payload") or {},
+            name=msg.get("name"), owner=msg.get("owner") or "anonymous",
+            demand_seconds=float(msg.get("demand_seconds") or 0.0))
+        self._wake.set()
+        return {"ok": True, "key": key}
+
+    def _op_q(self, msg):
+        now = self.clock()
+        with self._lock:
+            agents = [
+                {"agent": state.name, "job": state.job,
+                 "beat_age": round(now - state.last_beat, 3)}
+                for _name, state in sorted(self._agents.items())
+            ]
+        jobs = [
+            {"key": key, "state": record_state, "agent": agent,
+             "progress": progress, "owner": owner}
+            for key, record_state, agent, progress, owner
+            in self._job_rows(msg.get("limit"))
+        ]
+        return {"ok": True, "epoch": self.epoch, "agents": agents,
+                "jobs": jobs, **self._progress_snapshot()}
+
+    def _job_rows(self, limit=None):
+        sql = ("SELECT s.key, s.state, s.agent, s.progress, j.user "
+               "FROM service_jobs s JOIN jobs j ON j.key = s.key "
+               "ORDER BY j.id")
+        if limit:
+            sql += f" LIMIT {int(limit)}"
+        with self.db._lock:
+            return self.db._db.execute(sql).fetchall()
+
+    def _op_rm(self, msg):
+        key = msg.get("key")
+        record = self.db.job(key) if key else None
+        if record is None:
+            return {"ok": False, "error": f"unknown job {key!r}"}
+        hosting = record["agent"]
+        stopped = self.db.stop(key)
+        if stopped and hosting:
+            with self._lock:
+                state = self._agents.get(hosting)
+                if state is not None:
+                    state.commands.append({"cmd": "vacate", "key": key})
+                    if state.job == key:
+                        state.job = None
+        self._reconcile.pop(key, None)
+        return {"ok": stopped, "key": key,
+                **({} if stopped else {"error": "already finished"})}
+
+    # -- agent verbs ---------------------------------------------------
+
+    def _agent_dispatch(self, op, msg):
+        agent = msg.get("agent")
+        if not agent:
+            return {"ok": False, "error": "missing agent name"}
+        if op == "register":
+            return self._op_register(agent, msg)
+        epoch = int(msg.get("epoch", -1))
+        if epoch != self.epoch or self.deposed:
+            self.db.count_stale_epoch()
+            return {"ok": False, "error": "stale_epoch",
+                    "epoch": self.epoch}
+        if op == "heartbeat":
+            return self._op_heartbeat(agent, msg)
+        return self._op_job_exit(agent, msg)
+
+    def _op_register(self, agent, msg):
+        if self.deposed:
+            self.db.count_stale_epoch()
+            return {"ok": False, "error": "stale_coordinator"}
+        now = self.clock()
+        self.db.register_agent(agent, self.epoch)
+        drop = []
+        adopted = None
+        for report in msg.get("running", ()):
+            key = report.get("key")
+            record = self.db.job(key) if key else None
+            if (record is not None
+                    and record["state"] in db_states.INFLIGHT_STATES
+                    and record["agent"] == agent
+                    and record["incarnation"] == report.get("incarnation")):
+                adopted = key
+                self._reconcile.pop(key, None)
+            else:
+                drop.append(key)
+                if (record is not None and record["agent"] == agent
+                        and record["state"] in db_states.INFLIGHT_STATES):
+                    self.db.vacate(key, reason="registration_mismatch")
+                    self._reconcile.pop(key, None)
+        with self._lock:
+            state = self._agents.get(agent)
+            if state is None:
+                state = self._agents[agent] = _AgentState(agent, now)
+            state.last_beat = now
+            # A dropped-but-still-running zombie keeps the slot marked
+            # busy; its vacated exit report (or a heartbeat expiry)
+            # frees it.  Placing into the slot earlier would race the
+            # zombie and bounce.
+            state.job = adopted if adopted is not None else (
+                drop[0] if drop else None)
+            state.commands = []
+        self._wake.set()
+        return {"ok": True, "epoch": self.epoch, "drop": drop}
+
+    def _op_heartbeat(self, agent, msg):
+        now = self.clock()
+        with self._lock:
+            state = self._agents.get(agent)
+        if state is None:
+            # Expired (or unknown) between beats: force a re-register so
+            # adoption logic runs before any new placement.
+            self.db.count_stale_epoch()
+            return {"ok": False, "error": "stale_epoch",
+                    "epoch": self.epoch}
+        reported = {report["key"]: report
+                    for report in msg.get("running", ())}
+        commands = []
+        for key, report in sorted(reported.items()):
+            record = self.db.job(key)
+            owned = (record is not None
+                     and record["state"] in db_states.INFLIGHT_STATES
+                     and record["agent"] == agent
+                     and record["incarnation"] == report.get("incarnation"))
+            if not owned:
+                commands.append({"cmd": "vacate", "key": key})
+                continue
+            if record["state"] == db_states.PLACED:
+                self.db.running(key, agent, record["incarnation"])
+            progress = int(report.get("progress") or 0)
+            if progress > record["progress"]:
+                self.db.checkpoint(key, agent, record["incarnation"],
+                                   progress)
+        with self._lock:
+            state.last_beat = now
+            commands = state.commands + commands
+            state.commands = []
+        return {"ok": True, "epoch": self.epoch, "commands": commands}
+
+    def _op_job_exit(self, agent, msg):
+        key = msg.get("key")
+        incarnation = int(msg.get("incarnation", -1))
+        outcome = msg.get("outcome")
+        progress = int(msg.get("progress") or 0)
+        if progress:
+            self.db.checkpoint(key, agent, incarnation, progress)
+        if outcome == "completed":
+            accepted = self.db.complete(key, agent, incarnation,
+                                        result=msg.get("result"))
+        elif outcome == "failed":
+            accepted = self.db.fail(key, agent, incarnation,
+                                    msg.get("error") or "unknown")
+        elif outcome == "vacated":
+            record = self.db.job(key)
+            accepted = (record is not None
+                        and record["agent"] == agent
+                        and record["incarnation"] == incarnation
+                        and self.db.vacate(key))
+            if not accepted:
+                self.db.count_stale_result()
+        else:
+            return {"ok": False, "error": f"unknown outcome {outcome!r}"}
+        with self._lock:
+            state = self._agents.get(agent)
+            if state is not None and state.job == key:
+                state.job = None
+        self._reconcile.pop(key, None)
+        self._wake.set()
+        return {"ok": True, "accepted": bool(accepted)}
+
+    # ------------------------------------------------------------------
+    # the placement loop
+
+    def _place_loop(self):
+        while not self._halt.is_set():
+            self._wake.wait(self.poll_interval)
+            self._wake.clear()
+            if self._halt.is_set():
+                return
+            try:
+                self._check_fencing()
+                if self.deposed:
+                    continue
+                self._expire_agents()
+                self._expire_reconcile()
+                self._place_cycle()
+            except ServiceError:
+                continue
+
+    def _check_fencing(self):
+        """Abdicate when the database says a newer coordinator exists."""
+        if not self.deposed and self.db.epoch != self.epoch:
+            self.deposed = True
+
+    def _expire_agents(self):
+        now = self.clock()
+        with self._lock:
+            expired = [name for name, state in sorted(self._agents.items())
+                       if now - state.last_beat > self.agent_timeout]
+            states = [self._agents.pop(name) for name in expired]
+        for state in states:
+            self.db.count_agent_expiry()
+            if state.job is None:
+                continue
+            record = self.db.job(state.job)
+            # Only vacate if the dead agent still owns the job — it may
+            # already have been re-placed (the registry entry was a
+            # zombie marker), and vacating someone else's placement
+            # would double-queue it.
+            if (record is not None
+                    and record["agent"] == state.name
+                    and record["state"] in db_states.INFLIGHT_STATES):
+                self.db.vacate(state.job, reason="heartbeat_expired")
+
+    def _expire_reconcile(self):
+        now = self.clock()
+        overdue = [key for key, deadline in sorted(self._reconcile.items())
+                   if now >= deadline]
+        for key in overdue:
+            del self._reconcile[key]
+            self.db.vacate(key, reason="unreconciled_after_takeover")
+
+    def _register_owner(self, owner):
+        if owner not in self.policy._index:
+            self.policy.register_station(owner)
+            self._owners.append(owner)
+
+    def _place_cycle(self):
+        now = self.clock()
+        dt = (now - self._last_update) if self._last_update else 0.0
+        self._last_update = now
+
+        queue = self.db.queue()
+        inflight = self.db.inflight()
+        # Skip jobs still inside their reconcile window: their agent may
+        # yet re-register and adopt them.
+        wanting = list(dict.fromkeys(
+            owner for _key, _entry, _payload, owner, _progress in queue))
+        holding = {}
+        for _key, _agent, _inc, _epoch, _prog, owner in inflight:
+            holding[owner] = holding.get(owner, 0) + 1
+        for owner in wanting:
+            self._register_owner(owner)
+        for owner in sorted(holding):
+            self._register_owner(owner)
+        self.policy.update(set(wanting), holding, dt)
+
+        with self._lock:
+            idle = [state for _name, state in sorted(self._agents.items())
+                    if state.job is None and not state.commands
+                    and now - state.last_beat <= self.agent_timeout]
+        by_owner = {}
+        for key, entry, payload, owner, progress in queue:
+            by_owner.setdefault(owner, []).append(
+                (key, entry, payload, progress))
+
+        placements = 0
+        placed_any = False
+        progressing = True
+        while (placements < self.placements_per_cycle and idle
+               and progressing):
+            progressing = False
+            for owner in self.policy.rank_requesters(list(by_owner)):
+                if placements >= self.placements_per_cycle or not idle:
+                    break
+                pending = by_owner.get(owner)
+                if not pending:
+                    continue
+                key, entry, payload, progress = pending.pop(0)
+                if not pending:
+                    del by_owner[owner]
+                agent_state = idle.pop(0)
+                try:
+                    incarnation = self.db.place(key, agent_state.name,
+                                                self.epoch)
+                except ServiceError:
+                    continue
+                command = {"cmd": "start", "job": {
+                    "key": key, "entry": entry, "payload": payload,
+                    "name": key, "incarnation": incarnation,
+                    "epoch": self.epoch}}
+                with self._lock:
+                    live = self._agents.get(agent_state.name)
+                    if live is not None:
+                        live.commands.append(command)
+                        live.job = key
+                placements += 1
+                placed_any = True
+                progressing = True
+        if placed_any:
+            self.db.save_owner_indices({
+                owner: self.policy.index(owner)
+                for owner in self._owners})
+
+    def __repr__(self):
+        return (f"<CoordinatorDaemon {self.endpoint} epoch={self.epoch} "
+                f"deposed={self.deposed}>")
+
+
+class StandbyCoordinator:
+    """A warm standby: watch the primary, take over when it dies.
+
+    Takeover = one epoch bump in the shared job database plus a
+    recovery pass — the same code path as a cold restart, so failover
+    and restart stay equally trusted.  Until promotion the standby's
+    port is closed; agents and clients walking their endpoint lists
+    simply skip it.
+    """
+
+    def __init__(self, db_path, primary, host="127.0.0.1", port=0,
+                 check_interval=0.1, misses=5, **daemon_kwargs):
+        self.db_path = str(db_path)
+        self.primary = primary
+        self.host = host
+        self.port = port
+        self.check_interval = check_interval
+        self.misses = misses
+        self.daemon_kwargs = daemon_kwargs
+        self.daemon = None
+        self._halt = threading.Event()
+        self._thread = None
+
+    def start(self):
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(target=self._watch,
+                                        name="svc-standby", daemon=True)
+        self._thread.start()
+
+    def _watch(self):
+        consecutive = 0
+        while not self._halt.is_set():
+            try:
+                reply = protocol.request(
+                    self.primary, {"op": "ping"},
+                    timeout=max(0.5, self.check_interval * 2))
+                alive = bool(reply.get("ok")) and reply.get(
+                    "role") == "primary"
+            except (OSError, ProtocolError):
+                alive = False
+            consecutive = 0 if alive else consecutive + 1
+            if consecutive >= self.misses:
+                self.promote()
+                return
+            self._halt.wait(self.check_interval)
+
+    def promote(self):
+        """Become the coordinator (idempotent)."""
+        if self.daemon is None and not self._halt.is_set():
+            self.daemon = CoordinatorDaemon(
+                self.db_path, host=self.host, port=self.port,
+                promotion=True, **self.daemon_kwargs)
+            self.daemon.start()
+        return self.daemon
+
+    def stop(self):
+        self._halt.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if self.daemon is not None:
+            self.daemon.stop()
+
+    def serve_forever(self):
+        self.start()
+        try:
+            while not self._halt.wait(0.5):
+                pass
+        finally:
+            self.stop()
+
+    def __enter__(self):
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info):
+        self.stop()
+        return False

@@ -1,0 +1,15 @@
+"""Error types of the live service plane."""
+
+from repro.runtime.errors import LiveRuntimeError
+
+
+class ServiceError(LiveRuntimeError):
+    """Base class for service-plane errors (daemon, agent, client)."""
+
+
+class ProtocolError(ServiceError):
+    """A wire frame was malformed, oversized, or truncated."""
+
+
+class StaleEpochError(ServiceError):
+    """A message carried an epoch older than the coordinator's."""

@@ -1,0 +1,71 @@
+"""Checkpointable job factories submittable over the wire.
+
+A service job travels as an *entry point* (``"module:factory"``) plus a
+JSON payload of keyword arguments.  The agent imports the factory and
+calls it with the payload; the factory returns the actual job function
+``fn(ctx, state)`` with the live runtime's cooperative-checkpoint
+contract (see :mod:`repro.runtime.job`).
+
+The factories here are the service plane's stock workloads — used by
+the chaos suite, the CI smoke job, and the benchmarks — and double as
+the reference for writing your own.
+"""
+
+import importlib
+import time
+
+from repro.service.errors import ServiceError
+
+
+def resolve_entry(entry, payload):
+    """``"module:factory"`` + payload dict → job function."""
+    module_name, sep, factory_name = entry.partition(":")
+    if not sep or not module_name or not factory_name:
+        raise ServiceError(f"entry {entry!r} is not 'module:factory'")
+    try:
+        module = importlib.import_module(module_name)
+        factory = getattr(module, factory_name)
+    except (ImportError, AttributeError) as exc:
+        raise ServiceError(f"cannot resolve entry {entry!r}: {exc}") from exc
+    fn = factory(**payload)
+    if not callable(fn):
+        raise ServiceError(f"entry {entry!r} returned non-callable {fn!r}")
+    return fn
+
+
+def count_steps(steps=1000, step_sleep=0.0, checkpoint_every=10):
+    """Count to ``steps``, checkpointing the counter periodically.
+
+    The state *is* the progress watermark (an int), which is what lets
+    the chaos suite assert monotone checkpoint progress end to end.
+    """
+
+    def fn(ctx, state):
+        i = int(state or 0)
+        while i < steps:
+            i += 1
+            if step_sleep:
+                time.sleep(step_sleep)
+            if i % checkpoint_every == 0:
+                ctx.checkpoint(i)
+        return i
+
+    return fn
+
+
+def instant(value=0):
+    """Complete immediately — submission-throughput benchmark fodder."""
+
+    def fn(ctx, state):
+        return value
+
+    return fn
+
+
+def always_fails(message="intentional failure"):
+    """Raise on first step — exercises the failed-terminal path."""
+
+    def fn(ctx, state):
+        raise RuntimeError(message)
+
+    return fn

@@ -1,5 +1,6 @@
 """Tests for the live runtime: real threads, real checkpoints."""
 
+import os
 import threading
 import time
 
@@ -251,6 +252,118 @@ class TestLiveCluster:
         cluster.submit(counting_job(10), owner="a")
         cluster.submit(counting_job(10), owner="a")
         assert cluster.queue_length() == 2
+
+
+class TestDurableCheckpointWrites:
+    def test_fsync_file_before_rename_then_dir(self, tmp_path, monkeypatch):
+        # Durability ordering: data fsync -> rename -> directory fsync.
+        # Any other order can surface a zero-length or missing file
+        # after power loss even though save() returned.
+        store = LiveCheckpointStore(root=tmp_path)
+        job = LiveJob(lambda ctx, s: None)
+        calls = []
+        real_fsync, real_replace = os.fsync, os.replace
+
+        def spy_fsync(fd):
+            calls.append(("fsync", "dir" if os.fstat(fd).st_mode & 0o40000
+                          else "file"))
+            return real_fsync(fd)
+
+        def spy_replace(src, dst):
+            calls.append(("replace", "file"))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "fsync", spy_fsync)
+        monkeypatch.setattr(os, "replace", spy_replace)
+        store.save(job, {"step": 1})
+        assert [c[0] for c in calls] == ["fsync", "replace", "fsync"]
+        assert calls[0] == ("fsync", "file")
+        assert calls[2] == ("fsync", "dir")
+
+    def test_torn_write_leaves_previous_checkpoint(self, tmp_path):
+        # A pickle that dies partway through the tmp file must neither
+        # replace nor corrupt the previous good image.
+        store = LiveCheckpointStore(root=tmp_path)
+        job = LiveJob(lambda ctx, s: None)
+        store.save(job, {"step": 41})
+
+        class TearsMidPickle:
+            def __reduce__(self):
+                raise OSError("disk died mid-write")
+
+        with pytest.raises(OSError):
+            store.save(job, {"step": 42, "payload": TearsMidPickle()})
+        assert store.load(job) == {"step": 41}
+        # No half-written tmp litter left behind either.
+        leftovers = [name for name in os.listdir(tmp_path)
+                     if not name.endswith(".ckpt")]
+        assert leftovers == []
+
+    def test_truncated_tmp_never_promoted(self, tmp_path, monkeypatch):
+        # Even if the crash happens *after* pickling but before the
+        # rename (simulated by a failing fsync), the old image survives.
+        store = LiveCheckpointStore(root=tmp_path)
+        job = LiveJob(lambda ctx, s: None)
+        store.save(job, {"step": 7})
+        real_fsync = os.fsync
+
+        def failing_fsync(fd):
+            raise OSError("power cut at fsync")
+
+        monkeypatch.setattr(os, "fsync", failing_fsync)
+        with pytest.raises(OSError):
+            store.save(job, {"step": 8})
+        monkeypatch.setattr(os, "fsync", real_fsync)
+        assert store.load(job) == {"step": 7}
+
+
+class TestClusterShutdownDiscipline:
+    def test_shutdown_raises_on_zombie_coordinator(self):
+        class StuckCluster(LiveCluster):
+            def _coordinate(self):
+                # A coordinator that ignores the stop signal.
+                while True:
+                    time.sleep(0.05)
+
+        cluster = StuckCluster(["w1"], shutdown_timeout=0.2)
+        cluster.start()
+        with pytest.raises(LiveRuntimeError, match="zombie"):
+            cluster.shutdown()
+
+    def test_submit_after_shutdown_raises(self):
+        cluster = LiveCluster(["w1"])
+        cluster.start()
+        cluster.shutdown()
+        with pytest.raises(LiveRuntimeError, match="shut down"):
+            cluster.submit(counting_job(1), owner="a")
+
+    def test_start_reopens_submission(self):
+        cluster = LiveCluster(["w1"])
+        cluster.start()
+        cluster.shutdown()
+        cluster.start()
+        try:
+            job = cluster.submit(counting_job(50), owner="a")
+            assert cluster.wait_all(timeout=10.0)
+            assert job.result == 50
+        finally:
+            cluster.shutdown()
+
+
+class TestVacatedRequeuePosition:
+    def test_vacated_job_requeued_at_head(self):
+        # Regression: a vacated job must resume before younger
+        # submissions, not queue behind them (resume-not-restart).
+        cluster = LiveCluster(["w1"])     # never started: queue is inert
+        old = cluster.submit(counting_job(10), owner="a")
+        young1 = cluster.submit(counting_job(10), owner="a")
+        young2 = cluster.submit(counting_job(10), owner="a")
+        popped = cluster._pop_job_of("a")
+        assert popped is old
+        cluster._job_exited(old, "vacated")
+        with cluster._lock:
+            queue = list(cluster._queue)
+        assert queue == [old, young1, young2]
 
 
 class TestSyntheticOwner:

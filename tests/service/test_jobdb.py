@@ -1,0 +1,181 @@
+"""Job-database tests: one transaction per transition, crash recovery."""
+
+import sqlite3
+
+import pytest
+
+from repro.service import jobdb
+from repro.service.errors import ServiceError
+from repro.service.jobdb import JobDatabase
+
+
+@pytest.fixture
+def db(tmp_path):
+    database = JobDatabase(tmp_path / "svc.sqlite")
+    yield database
+    database.close()
+
+
+class TestLifecycle:
+    def test_submit_queues_at_tail(self, db):
+        k1 = db.submit("m:f", owner="ann")
+        k2 = db.submit("m:f", owner="bob")
+        assert [row[0] for row in db.queue()] == [k1, k2]
+        assert db.counts() == {"submitted": 2, "pending": 2}
+
+    def test_place_pops_queue_and_bumps_incarnation(self, db):
+        key = db.submit("m:f", payload={"steps": 3}, owner="ann")
+        incarnation = db.place(key, "agent-a", epoch=1)
+        assert incarnation == 1
+        assert db.queue() == []
+        record = db.job(key)
+        assert record["state"] == jobdb.PLACED
+        assert record["agent"] == "agent-a"
+        assert record["payload"] == {"steps": 3}
+
+    def test_place_requires_queued_state(self, db):
+        key = db.submit("m:f")
+        db.place(key, "a", 1)
+        with pytest.raises(ServiceError, match="cannot place"):
+            db.place(key, "b", 1)
+
+    def test_full_happy_path(self, db):
+        key = db.submit("m:f", owner="ann")
+        inc = db.place(key, "a", 1)
+        assert db.running(key, "a", inc)
+        assert db.checkpoint(key, "a", inc, 10)
+        assert db.complete(key, "a", inc, result=99)
+        record = db.job(key)
+        assert record["state"] == jobdb.DONE
+        assert record["progress"] == 10
+
+    def test_vacate_requeues_at_head(self, db):
+        first = db.submit("m:f", owner="ann")
+        second = db.submit("m:f", owner="ann")
+        db.place(first, "a", 1)
+        db.vacate(first)
+        # The vacated job outranks the younger still-queued one.
+        assert [row[0] for row in db.queue()] == [first, second]
+
+    def test_revived_job_gets_new_incarnation(self, db):
+        key = db.submit("m:f")
+        assert db.place(key, "a", 1) == 1
+        db.vacate(key)
+        assert db.place(key, "b", 1) == 2
+
+    def test_stop_is_terminal(self, db):
+        key = db.submit("m:f")
+        assert db.stop(key)
+        assert db.queue() == []
+        assert not db.stop(key)          # already terminal
+        assert not db.vacate(key)
+
+    def test_fail_records_error(self, db):
+        key = db.submit("m:f")
+        inc = db.place(key, "a", 1)
+        assert db.fail(key, "a", inc, "ValueError: boom")
+        assert db.job(key)["error"] == "ValueError: boom"
+
+
+class TestFencing:
+    def test_stale_incarnation_completion_rejected(self, db):
+        key = db.submit("m:f")
+        old = db.place(key, "a", 1)
+        db.vacate(key)
+        new = db.place(key, "b", 2)
+        # The zombie (agent a, incarnation 1) reports success late.
+        assert not db.complete(key, "a", old, result=1)
+        assert db.counter("service_stale_results_rejected") == 1
+        # The legitimate incarnation still completes.
+        assert db.complete(key, "b", new, result=2)
+        assert db.job(key)["state"] == jobdb.DONE
+
+    def test_completion_is_exactly_once(self, db):
+        key = db.submit("m:f")
+        inc = db.place(key, "a", 1)
+        assert db.complete(key, "a", inc, result=1)
+        # The duplicate delivery of the same report is rejected.
+        assert not db.complete(key, "a", inc, result=1)
+
+    def test_progress_watermark_is_monotone(self, db):
+        key = db.submit("m:f")
+        inc = db.place(key, "a", 1)
+        assert db.checkpoint(key, "a", inc, 30)
+        assert not db.checkpoint(key, "a", inc, 20)   # would regress
+        assert db.job(key)["progress"] == 30
+        assert db.counter("service_progress_regressions") == 1
+
+    def test_epoch_bump_and_promotion_counter(self, db):
+        assert db.epoch == 0
+        assert db.bump_epoch() == 1
+        assert db.bump_epoch(promotion=True) == 2
+        assert db.counter("service_promotions") == 1
+
+
+class TestCrashRecovery:
+    def test_reopen_recovers_queue_and_inflight(self, tmp_path):
+        path = tmp_path / "svc.sqlite"
+        db1 = JobDatabase(path)
+        queued = db1.submit("m:f", owner="ann")
+        hosted = db1.submit("m:f", owner="bob")
+        inc = db1.place(hosted, "agent-a", epoch=1)
+        db1.checkpoint(hosted, "agent-a", inc, 17)
+        db1.close()     # stand-in for kill -9: no shutdown logic exists
+
+        db2 = JobDatabase(path)
+        assert [row[0] for row in db2.queue()] == [queued]
+        assert db2.inflight() == [(hosted, "agent-a", 1, 1, 17, "bob")]
+        db2.close()
+
+    def test_owner_indices_survive_restart(self, tmp_path):
+        path = tmp_path / "svc.sqlite"
+        db1 = JobDatabase(path)
+        db1.save_owner_indices({"ann": -1.5, "bob": 2.25})
+        db1.close()
+        db2 = JobDatabase(path)
+        assert db2.load_owner_indices() == {"ann": -1.5, "bob": 2.25}
+        db2.close()
+
+    def test_wal_and_full_sync_active(self, db):
+        assert db._db.execute("PRAGMA journal_mode").fetchone()[0] == "wal"
+        # FULL = 2: every commit reaches disk before it is acknowledged.
+        assert db._db.execute("PRAGMA synchronous").fetchone()[0] == 2
+
+
+class TestQueryPlaneCompatibility:
+    def test_jobs_table_tracks_lifecycle(self, db):
+        key = db.submit("m:f", owner="ann", name="myjob")
+        inc = db.place(key, "agent-a", 1)
+        db.vacate(key)
+        inc = db.place(key, "agent-b", 1)
+        db.checkpoint(key, "agent-b", inc, 5)
+        db.complete(key, "agent-b", inc)
+        row = db._db.execute(
+            "SELECT status, last_host, placements, vacates, "
+            "periodic_checkpoints FROM jobs WHERE key = ?",
+            (key,)).fetchone()
+        assert row == ("completed", "agent-b", 2, 1, 1)
+
+    def test_live_db_opens_in_pr9_trace_store(self, tmp_path):
+        from repro.telemetry.store import TraceStore
+
+        path = tmp_path / "svc.sqlite"
+        database = JobDatabase(path)
+        key = database.submit("m:f", owner="ann")
+        inc = database.place(key, "a", 1)
+        database.complete(key, "a", inc)
+        database.close()
+        store = TraceStore(path)
+        columns, rows = store.query(
+            "SELECT status, COUNT(*) FROM jobs GROUP BY 1")
+        assert rows == [("completed", 1)]
+        store.close()
+
+    def test_raw_sqlite_readable_while_open(self, db, tmp_path):
+        # Ops queries run against the live database from other processes.
+        key = db.submit("m:f")
+        other = sqlite3.connect(db.path)
+        assert other.execute(
+            "SELECT state FROM service_jobs WHERE key = ?",
+            (key,)).fetchone() == ("submitted",)
+        other.close()

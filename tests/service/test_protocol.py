@@ -1,0 +1,153 @@
+"""Wire-protocol tests: framing, caps, EOF discipline, endpoints."""
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.service import protocol
+from repro.service.errors import ProtocolError
+
+
+def _pair():
+    return socket.socketpair()
+
+
+class TestFraming:
+    def test_round_trip(self):
+        a, b = _pair()
+        try:
+            protocol.send_frame(a, {"op": "ping", "n": 3})
+            assert protocol.recv_frame(b) == {"op": "ping", "n": 3}
+        finally:
+            a.close()
+            b.close()
+
+    def test_multiple_frames_in_order(self):
+        a, b = _pair()
+        try:
+            for i in range(5):
+                protocol.send_frame(a, {"i": i})
+            assert [protocol.recv_frame(b)["i"] for _ in range(5)] == list(
+                range(5))
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_returns_none(self):
+        a, b = _pair()
+        a.close()
+        try:
+            assert protocol.recv_frame(b) is None
+        finally:
+            b.close()
+
+    def test_eof_mid_frame_raises(self):
+        a, b = _pair()
+        try:
+            # Announce 100 bytes, deliver 3, hang up.
+            a.sendall(struct.pack(">I", 100) + b"abc")
+            a.close()
+            with pytest.raises(ProtocolError, match="mid-frame"):
+                protocol.recv_frame(b)
+        finally:
+            b.close()
+
+    def test_oversized_announcement_rejected(self):
+        a, b = _pair()
+        try:
+            a.sendall(struct.pack(">I", protocol.MAX_FRAME + 1))
+            with pytest.raises(ProtocolError, match="exceeds cap"):
+                protocol.recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_oversized_send_rejected(self):
+        a, b = _pair()
+        try:
+            with pytest.raises(ProtocolError, match="exceeds cap"):
+                protocol.send_frame(a, {"x": "y" * protocol.MAX_FRAME})
+        finally:
+            a.close()
+            b.close()
+
+    def test_non_object_frame_rejected(self):
+        a, b = _pair()
+        try:
+            body = b"[1,2,3]"
+            a.sendall(struct.pack(">I", len(body)) + body)
+            with pytest.raises(ProtocolError, match="JSON object"):
+                protocol.recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_undecodable_frame_rejected(self):
+        a, b = _pair()
+        try:
+            body = b"\xff\xfe{"
+            a.sendall(struct.pack(">I", len(body)) + body)
+            with pytest.raises(ProtocolError, match="undecodable"):
+                protocol.recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+
+class TestRequest:
+    def test_one_shot_rpc(self):
+        server = socket.socket()
+        server.bind(("127.0.0.1", 0))
+        server.listen(1)
+        endpoint = server.getsockname()
+
+        def serve():
+            conn, _ = server.accept()
+            msg = protocol.recv_frame(conn)
+            protocol.send_frame(conn, {"ok": True, "echo": msg})
+            conn.close()
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        try:
+            reply = protocol.request(endpoint, {"op": "ping"}, timeout=5.0)
+            assert reply["ok"] and reply["echo"] == {"op": "ping"}
+        finally:
+            thread.join(timeout=5.0)
+            server.close()
+
+    def test_hangup_before_reply_raises(self):
+        server = socket.socket()
+        server.bind(("127.0.0.1", 0))
+        server.listen(1)
+        endpoint = server.getsockname()
+
+        def serve():
+            conn, _ = server.accept()
+            protocol.recv_frame(conn)
+            conn.close()    # no reply
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        try:
+            with pytest.raises(ProtocolError, match="before replying"):
+                protocol.request(endpoint, {"op": "ping"}, timeout=5.0)
+        finally:
+            thread.join(timeout=5.0)
+            server.close()
+
+
+class TestEndpoints:
+    def test_parse_endpoint(self):
+        assert protocol.parse_endpoint("10.0.0.1:9618") == ("10.0.0.1",
+                                                            9618)
+
+    def test_parse_endpoints_list(self):
+        assert protocol.parse_endpoints("a:1,b:2") == [("a", 1), ("b", 2)]
+
+    @pytest.mark.parametrize("bad", ["nope", ":1", "h:", "h:abc", ""])
+    def test_bad_endpoints_rejected(self, bad):
+        with pytest.raises(ProtocolError):
+            protocol.parse_endpoints(bad)

@@ -1,0 +1,372 @@
+"""End-to-end service-plane tests: daemon, agents, client, recovery.
+
+Everything here runs in-process (daemon threads + agent threads over
+real localhost sockets) so the suite stays fast and debuggable; the
+subprocess + real-``kill -9`` coverage lives in the live chaos suite
+(``repro-condor chaos --suite service``).
+"""
+
+import socket
+import time
+
+import pytest
+
+from repro.service import protocol
+from repro.service.agent import StationAgent
+from repro.service.client import ServiceClient
+from repro.service.daemon import CoordinatorDaemon, StandbyCoordinator
+from repro.service.errors import ServiceError
+from repro.service.jobdb import JobDatabase
+
+COUNT = "repro.service.samples:count_steps"
+INSTANT = "repro.service.samples:instant"
+FAILS = "repro.service.samples:always_fails"
+
+
+def wait_for(predicate, timeout=10.0, poll=0.01, what="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(poll)
+    raise AssertionError(f"timed out waiting for {what}")
+
+
+def free_port():
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+@pytest.fixture
+def db_path(tmp_path):
+    return str(tmp_path / "svc.sqlite")
+
+
+@pytest.fixture
+def plane(tmp_path, db_path):
+    """Daemon + two agents + client, torn down in order."""
+    daemon = CoordinatorDaemon(db_path, agent_timeout=1.0,
+                               poll_interval=0.01)
+    daemon.start()
+    agents = [StationAgent(f"s{i}", [daemon.endpoint],
+                           tmp_path / "ckpt", heartbeat_interval=0.02)
+              for i in range(2)]
+    for agent in agents:
+        agent.start()
+    client = ServiceClient([daemon.endpoint])
+    yield daemon, agents, client
+    for agent in agents:
+        agent.stop()
+    daemon.stop()
+
+
+class FakeAgent:
+    """A hand-driven agent speaking the raw protocol (no threads)."""
+
+    def __init__(self, name, endpoint):
+        self.name = name
+        self.sock = socket.create_connection(endpoint, timeout=5.0)
+        self.sock.settimeout(5.0)
+        self.epoch = None
+
+    def rpc(self, msg):
+        protocol.send_frame(self.sock, msg)
+        return protocol.recv_frame(self.sock)
+
+    def register(self, running=()):
+        reply = self.rpc({"op": "register", "agent": self.name,
+                          "running": list(running)})
+        if reply.get("ok"):
+            self.epoch = reply["epoch"]
+        return reply
+
+    def heartbeat(self, running=(), epoch=None):
+        return self.rpc({"op": "heartbeat", "agent": self.name,
+                         "epoch": self.epoch if epoch is None else epoch,
+                         "running": list(running)})
+
+    def close(self):
+        self.sock.close()
+
+
+class TestHappyPath:
+    def test_submit_runs_to_completion(self, plane):
+        _daemon, _agents, client = plane
+        keys = [client.submit(COUNT, payload={"steps": 20,
+                                              "checkpoint_every": 5},
+                              owner=f"u{i % 2}") for i in range(6)]
+        snapshot = client.wait_idle(timeout=20.0, require_done=6)
+        assert snapshot["done"] == 6
+        states = {j["key"]: j for j in client.q()["jobs"]}
+        assert all(states[k]["state"] == "done" for k in keys)
+        assert all(states[k]["progress"] == 20 for k in keys)
+
+    def test_failing_job_is_terminal_not_requeued(self, plane):
+        _daemon, _agents, client = plane
+        key = client.submit(FAILS, payload={"message": "by design"})
+        _daemon2 = wait_for(
+            lambda: _daemon.db.job(key)["state"] == "failed",
+            what="job to fail")
+        assert "by design" in _daemon.db.job(key)["error"]
+        snapshot = client.q()
+        assert snapshot["pending"] == 0
+
+    def test_rm_stops_queued_job(self, db_path, tmp_path):
+        # No agents: submissions stay queued, rm pulls one out.
+        with CoordinatorDaemon(db_path, poll_interval=0.01) as daemon:
+            client = ServiceClient([daemon.endpoint])
+            key = client.submit(INSTANT)
+            assert client.remove(key)
+            assert daemon.db.job(key)["state"] == "stopped"
+            assert not client.remove(key)    # already finished
+
+    def test_drain_rejects_new_submissions(self, plane):
+        _daemon, _agents, client = plane
+        client.submit(INSTANT)
+        client.drain()
+        with pytest.raises(ServiceError, match="draining"):
+            client.submit(INSTANT)
+
+    def test_agent_checkpoints_are_incarnation_fenced(self, plane,
+                                                      tmp_path):
+        _daemon, agents, client = plane
+        store = agents[0].store
+        handle_v1 = type("H", (), {"key": "#9", "id": "9.i1",
+                                   "incarnation": 1})()
+        handle_v2 = type("H", (), {"key": "#9", "id": "9.i2",
+                                   "incarnation": 2})()
+        store.save(handle_v1, 10)
+        store.save(handle_v2, 30)
+        store.save(handle_v1, 20)    # zombie writes after re-placement
+        # The successor resumes from its own image, not the zombie's.
+        assert store.load(handle_v2) == 30
+        # A fresh incarnation 3 picks the newest at-or-below image.
+        handle_v3 = type("H", (), {"key": "#9", "id": "9.i3",
+                                   "incarnation": 3})()
+        assert store.load(handle_v3) == 30
+
+
+class TestRecoveryPaths:
+    def test_restart_recovers_queue_and_updown(self, db_path):
+        port = free_port()
+        daemon1 = CoordinatorDaemon(db_path, port=port,
+                                    poll_interval=0.01)
+        daemon1.start()
+        client = ServiceClient([("127.0.0.1", port)], retries=40,
+                               retry_cap=0.2)
+        keys = [client.submit(INSTANT, owner="ann") for _ in range(3)]
+        daemon1.db.save_owner_indices({"ann": -3.5, "bob": 1.25})
+        daemon1.stop()
+
+        daemon2 = CoordinatorDaemon(db_path, port=port,
+                                    poll_interval=0.01)
+        daemon2.start()
+        try:
+            # Queue recovered in order; Up-Down indices recovered too.
+            assert [row[0] for row in daemon2.db.queue()] == keys
+            assert daemon2.policy.index("ann") == -3.5
+            assert daemon2.policy.index("bob") == 1.25
+            assert daemon2.epoch == daemon1.epoch + 1
+        finally:
+            daemon2.stop()
+
+    def test_restart_vacates_unclaimed_inflight_to_queue_head(
+            self, db_path):
+        db = JobDatabase(db_path)
+        lost = db.submit("m:f", owner="ann")
+        younger = db.submit("m:f", owner="ann")
+        db.place(lost, "dead-agent", epoch=1)
+        db.close()
+
+        daemon = CoordinatorDaemon(db_path, poll_interval=0.01,
+                                   reconcile_timeout=0.05)
+        daemon.start()
+        try:
+            wait_for(lambda: daemon.db.job(lost)["state"] == "vacated",
+                     what="unclaimed in-flight job to be vacated")
+            # Head of the queue: it outranks the younger submission.
+            assert [row[0] for row in daemon.db.queue()] == [lost,
+                                                             younger]
+        finally:
+            daemon.stop()
+
+    def test_register_adopts_matching_running_job(self, db_path):
+        db = JobDatabase(db_path)
+        key = db.submit("m:f", owner="ann")
+        inc = db.place(key, "fake", epoch=1)
+        db.close()
+        daemon = CoordinatorDaemon(db_path, poll_interval=0.01,
+                                   reconcile_timeout=5.0)
+        daemon.start()
+        fake = FakeAgent("fake", daemon.endpoint)
+        try:
+            reply = fake.register(
+                running=[{"key": key, "incarnation": inc, "progress": 3}])
+            assert reply["ok"] and reply["drop"] == []
+            # Adopted in place: still in flight, same incarnation.
+            assert daemon.db.job(key)["state"] in ("placed", "running",
+                                                   "checkpointed")
+            assert daemon.db.job(key)["incarnation"] == inc
+        finally:
+            fake.close()
+            daemon.stop()
+
+    def test_register_drops_mismatched_running_job(self, db_path):
+        daemon = CoordinatorDaemon(db_path, poll_interval=0.01)
+        daemon.start()
+        fake = FakeAgent("fake", daemon.endpoint)
+        try:
+            reply = fake.register(
+                running=[{"key": "#404", "incarnation": 9}])
+            assert reply["ok"] and reply["drop"] == ["#404"]
+        finally:
+            fake.close()
+            daemon.stop()
+
+    def test_heartbeat_expiry_vacates_job(self, db_path):
+        daemon = CoordinatorDaemon(db_path, agent_timeout=0.15,
+                                   poll_interval=0.01)
+        daemon.start()
+        client = ServiceClient([daemon.endpoint])
+        fake = FakeAgent("fake", daemon.endpoint)
+        try:
+            fake.register()
+            key = client.submit(COUNT, payload={"steps": 5})
+            wait_for(lambda: daemon.db.job(key)["agent"] == "fake",
+                     what="placement on the fake agent")
+            # ...then the fake agent goes silent (no heartbeats).
+            wait_for(lambda: daemon.db.job(key)["state"] == "vacated",
+                     what="heartbeat expiry to vacate the job")
+            assert daemon.db.counter("service_agent_expiries") >= 1
+            assert [row[0] for row in daemon.db.queue()] == [key]
+        finally:
+            fake.close()
+            daemon.stop()
+
+    def test_stale_epoch_heartbeat_rejected(self, db_path):
+        daemon = CoordinatorDaemon(db_path, poll_interval=0.01)
+        daemon.start()
+        fake = FakeAgent("fake", daemon.endpoint)
+        try:
+            fake.register()
+            reply = fake.heartbeat(epoch=fake.epoch - 1)
+            assert not reply["ok"]
+            assert reply["error"] == "stale_epoch"
+            assert reply["epoch"] == daemon.epoch
+            assert daemon.db.counter(
+                "service_stale_epoch_rejections") >= 1
+            # With the right epoch the same heartbeat is accepted.
+            assert fake.heartbeat()["ok"]
+        finally:
+            fake.close()
+            daemon.stop()
+
+    def test_deposed_coordinator_abdicates(self, db_path):
+        daemon = CoordinatorDaemon(db_path, poll_interval=0.01)
+        daemon.start()
+        fake = FakeAgent("fake", daemon.endpoint)
+        try:
+            fake.register()
+            # A newer coordinator claims the database behind its back.
+            other = JobDatabase(db_path)
+            other.bump_epoch()
+            other.close()
+            wait_for(lambda: daemon.deposed, what="abdication")
+            reply = fake.heartbeat()
+            assert not reply["ok"]      # deposed: fences its agents off
+        finally:
+            fake.close()
+            daemon.stop()
+
+    def test_resume_uses_checkpoint_after_restart(self, tmp_path,
+                                                  db_path):
+        # A placed job's progress must survive a coordinator restart
+        # without the agent restarting from scratch.
+        port = free_port()
+        daemon1 = CoordinatorDaemon(db_path, port=port,
+                                    poll_interval=0.01)
+        daemon1.start()
+        agent = StationAgent("s0", [("127.0.0.1", port)],
+                             tmp_path / "ckpt", heartbeat_interval=0.02)
+        agent.start()
+        client = ServiceClient([("127.0.0.1", port)], retries=60,
+                               retry_cap=0.2)
+        try:
+            key = client.submit(COUNT, payload={"steps": 400,
+                                                "step_sleep": 0.003,
+                                                "checkpoint_every": 5})
+            wait_for(lambda: daemon1.db.job(key)["progress"] > 0,
+                     what="first checkpoint")
+            daemon1.stop()
+            daemon2 = CoordinatorDaemon(db_path, port=port,
+                                        poll_interval=0.01)
+            daemon2.start()
+            try:
+                wait_for(lambda: daemon2.db.job(key)["state"] == "done",
+                         timeout=30.0, what="completion after restart")
+                record = daemon2.db.job(key)
+                assert record["progress"] == 400
+                assert record["incarnation"] == 1    # adopted, not redone
+                assert daemon2.db.counter(
+                    "service_progress_regressions") == 0
+            finally:
+                daemon2.stop()
+        finally:
+            agent.stop()
+
+
+class TestFailover:
+    def test_standby_promotes_and_finishes_work(self, tmp_path, db_path):
+        primary_port, standby_port = free_port(), free_port()
+        primary = CoordinatorDaemon(db_path, port=primary_port,
+                                    poll_interval=0.01)
+        primary.start()
+        standby = StandbyCoordinator(
+            db_path, ("127.0.0.1", primary_port), port=standby_port,
+            check_interval=0.05, misses=3, poll_interval=0.01)
+        standby.start()
+        endpoints = [("127.0.0.1", primary_port),
+                     ("127.0.0.1", standby_port)]
+        agent = StationAgent("s0", endpoints, tmp_path / "ckpt",
+                             heartbeat_interval=0.02)
+        agent.start()
+        client = ServiceClient(endpoints, retries=80, retry_cap=0.2)
+        try:
+            keys = [client.submit(COUNT, payload={"steps": 200,
+                                                  "step_sleep": 0.002,
+                                                  "checkpoint_every": 5})
+                    for _ in range(2)]
+            old_epoch = primary.epoch
+            primary.stop()      # the standby's pings start missing
+            wait_for(lambda: standby.daemon is not None, timeout=10.0,
+                     what="standby promotion")
+            snapshot = client.wait_idle(timeout=30.0,
+                                        require_done=len(keys))
+            assert snapshot["done"] == len(keys)
+            assert standby.daemon.epoch > old_epoch
+            db = JobDatabase(db_path)
+            assert db.counter("service_promotions") == 1
+            assert db.counter("service_progress_regressions") == 0
+            db.close()
+        finally:
+            agent.stop()
+            standby.stop()
+
+    def test_agents_reject_promoted_epoch_only_briefly(self, db_path):
+        # After promotion the old epoch is fenced: a heartbeat carrying
+        # it gets stale_epoch and must re-register.
+        daemon = CoordinatorDaemon(db_path, poll_interval=0.01,
+                                   promotion=True)
+        daemon.start()
+        fake = FakeAgent("fake", daemon.endpoint)
+        try:
+            fake.register()
+            stale = fake.heartbeat(epoch=fake.epoch - 1)
+            assert stale["error"] == "stale_epoch"
+            fake.register()
+            assert fake.heartbeat()["ok"]
+        finally:
+            fake.close()
+            daemon.stop()

@@ -34,8 +34,10 @@ SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
 _RNG_EXEMPT = {"sim/randomness.py"}
 
 #: Drivers that measure elapsed wall time for reporting only, and the
-#: live (non-simulated) runtime layer, which runs in real time.
-_CLOCK_EXEMPT_PREFIXES = ("cli.py", "analysis/", "runtime/", "remote/")
+#: live (non-simulated) runtime and service layers, which run in real
+#: time.
+_CLOCK_EXEMPT_PREFIXES = ("cli.py", "analysis/", "runtime/", "remote/",
+                          "service/")
 
 _SET_CALLS = {"set", "frozenset"}
 
